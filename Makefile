@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments quick-experiments examples fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every reproduction benchmark (quick mode) with allocations.
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Full paper-reproduction suite (several minutes; writes results/*.csv).
+experiments:
+	$(GO) run ./cmd/experiments -all -parallel 4 -csv results/
+
+quick-experiments:
+	$(GO) run ./cmd/experiments -all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multimedia
+	$(GO) run ./examples/agingstudy
+	$(GO) run ./examples/darksilicon
+	$(GO) run ./examples/failstop
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,114 @@
+package potsim
+
+// One benchmark per reproduced table/figure (E1..E10, see DESIGN.md).
+// Each bench regenerates its experiment in quick mode and logs the table,
+// so `go test -bench=. -benchmem` re-prints the rows the paper reports.
+// Additional micro-benchmarks cover the hot paths of the substrates.
+
+import (
+	"testing"
+
+	"potsim/internal/core"
+	"potsim/internal/expt"
+	"potsim/internal/noc"
+	"potsim/internal/sim"
+)
+
+// benchExperiment regenerates experiment id once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner := &expt.Runner{Quick: true}
+	for i := 0; i < b.N; i++ {
+		res, err := runner.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkE1ThroughputPenalty(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkE2PowerTrace(b *testing.B)            { benchExperiment(b, "E2") }
+func BenchmarkE3CriticalityAdaptation(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4VfCoverage(b *testing.B)            { benchExperiment(b, "E4") }
+func BenchmarkE5MappingPolicies(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6Scalability(b *testing.B)           { benchExperiment(b, "E6") }
+func BenchmarkE7TechnologySweep(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8FaultDetection(b *testing.B)        { benchExperiment(b, "E8") }
+func BenchmarkE9BudgetSweep(b *testing.B)           { benchExperiment(b, "E9") }
+func BenchmarkE10Ablations(b *testing.B)            { benchExperiment(b, "E10") }
+
+// BenchmarkSystemEpoch measures the full simulation rate: simulated
+// manycore milliseconds per wall-clock second on the default setup.
+func BenchmarkSystemEpoch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Horizon = 50 * sim.Millisecond
+		sys, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(50*float64(b.N)/b.Elapsed().Seconds(), "sim-ms/s")
+}
+
+// BenchmarkNoCStep measures flit-level router cycles per second at a
+// moderate uniform load on an 8x8 mesh.
+func BenchmarkNoCStep(b *testing.B) {
+	net, err := noc.NewNetwork(noc.DefaultConfig(8, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := noc.NewGenerator(net, noc.Uniform,
+		sim.NewRNG(1).Stream("bench"), 0.2, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gen.Tick(); err != nil {
+			b.Fatal(err)
+		}
+		net.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkPublicAPI exercises the façade the README quickstart shows.
+func BenchmarkPublicAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Horizon = 20 * sim.Millisecond
+		sys, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.TasksCompleted == 0 {
+			b.Fatal("no work done")
+		}
+	}
+}
+
+func BenchmarkE11NoCValidation(b *testing.B) { benchExperiment(b, "E11") }
+
+func BenchmarkE12MixedCriticality(b *testing.B) { benchExperiment(b, "E12") }
+
+func BenchmarkE13WearLeveling(b *testing.B) { benchExperiment(b, "E13") }
+
+func BenchmarkE14TestIntensity(b *testing.B)  { benchExperiment(b, "E14") }
+func BenchmarkE15GovernorPolicy(b *testing.B) { benchExperiment(b, "E15") }
+
+func BenchmarkE16IntervalModel(b *testing.B) { benchExperiment(b, "E16") }
+
+func BenchmarkE17MemoryBottleneck(b *testing.B) { benchExperiment(b, "E17") }
+
+func BenchmarkE18Segmentation(b *testing.B) { benchExperiment(b, "E18") }

@@ -1,0 +1,146 @@
+// Command dse explores the design space a deployer of power-aware online
+// testing actually faces: how tight to set the power budget and how eager
+// to make the test-criticality target. It sweeps (TDP fraction x base
+// test interval), measures throughput penalty, test energy and fault
+// detection latency for every point, and marks the Pareto-optimal
+// configurations (all three objectives minimised).
+//
+// Usage:
+//
+//	dse
+//	dse -tdp 0.25,0.35,0.5 -interval 20ms,50ms,100ms -horizon 300ms -seeds 2
+//	dse -csv sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"potsim/internal/core"
+	"potsim/internal/metrics"
+	"potsim/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dse", flag.ContinueOnError)
+	tdpList := fs.String("tdp", "0.25,0.35,0.50", "comma-separated TDP fractions")
+	ivList := fs.String("interval", "20ms,50ms,100ms", "comma-separated criticality base intervals")
+	horizon := fs.Duration("horizon", 300*time.Millisecond, "simulated horizon per point")
+	seeds := fs.Int("seeds", 2, "replications per point")
+	csvPath := fs.String("csv", "", "write the sweep as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tdps []float64
+	for _, tok := range strings.Split(*tdpList, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &v); err != nil || v <= 0 || v > 1 {
+			return fmt.Errorf("bad -tdp entry %q", tok)
+		}
+		tdps = append(tdps, v)
+	}
+	var ivs []time.Duration
+	for _, tok := range strings.Split(*ivList, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(tok))
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad -interval entry %q", tok)
+		}
+		ivs = append(ivs, d)
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1")
+	}
+
+	type point struct {
+		tdp      float64
+		interval time.Duration
+		penalty  float64 // %
+		energy   float64 // % of consumed energy
+		latency  float64 // ms mean detection latency
+	}
+	var points []point
+	for _, tdp := range tdps {
+		for _, iv := range ivs {
+			var pen, en, lat float64
+			for s := 1; s <= *seeds; s++ {
+				cfg := core.DefaultConfig()
+				cfg.Horizon = sim.FromDuration(*horizon)
+				cfg.TDPFraction = tdp
+				cfg.Criticality.BaseInterval = sim.FromDuration(iv)
+				cfg.MapperName = "NN" // identical mapping across policies
+				cfg.EnableFaults = true
+				cfg.Faults.BaseRatePerSec = 0.1
+				cfg.Seed = uint64(s)
+				rep, err := runOne(cfg)
+				if err != nil {
+					return err
+				}
+				cfg.TestPolicy = core.PolicyNoTest
+				ref, err := runOne(cfg)
+				if err != nil {
+					return err
+				}
+				pen += 100 * rep.ThroughputPenalty(ref)
+				en += 100 * rep.TestEnergyShare
+				lat += rep.FaultStats.MeanLatency.Millis()
+			}
+			n := float64(*seeds)
+			points = append(points, point{
+				tdp: tdp, interval: iv,
+				penalty: pen / n, energy: en / n, latency: lat / n,
+			})
+		}
+	}
+
+	objectives := make([][]float64, len(points))
+	for i, p := range points {
+		pen := p.penalty
+		if pen < 0 {
+			pen = 0 // faster-than-baseline is as good as free
+		}
+		objectives[i] = []float64{pen, p.energy, p.latency}
+	}
+	front, err := metrics.ParetoMin(objectives)
+	if err != nil {
+		return err
+	}
+
+	t := metrics.NewTable(
+		"design-space sweep: budget x test-interval (objectives minimised)",
+		"tdp-frac", "base-interval", "penalty(%)", "test-energy(%)",
+		"detect-latency(ms)", "pareto")
+	for i, p := range points {
+		mark := ""
+		if front[i] {
+			mark = "*"
+		}
+		t.AddRow(p.tdp, p.interval.String(), p.penalty, p.energy, p.latency, mark)
+	}
+	fmt.Print(t.Render())
+	fmt.Println("\n'*' marks Pareto-optimal configurations.")
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(cfg core.Config) (*core.Report, error) {
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "sweep.csv")
+	err := run([]string{"-tdp", "0.3,0.5", "-interval", "50ms",
+		"-horizon", "40ms", "-seeds", "1", "-csv", csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) != 3 { // header + 2 points
+		t.Errorf("CSV has %d lines, want 3", len(lines))
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	cases := [][]string{
+		{"-tdp", "banana"},
+		{"-tdp", "1.5"},
+		{"-interval", "zzz"},
+		{"-seeds", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper-reproduction experiments
+// (E1..E10, see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments -all            # run everything (takes a few minutes)
+//	experiments -e E1 -e E9     # run a subset
+//	experiments -quick -all     # fast smoke versions
+//	experiments -all -csv dir/  # also dump each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"potsim/internal/expt"
+)
+
+type idList []string
+
+func (l *idList) String() string { return strings.Join(*l, ",") }
+
+func (l *idList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var ids idList
+	fs.Var(&ids, "e", "experiment id (repeatable), e.g. -e E1 -e E4")
+	all := fs.Bool("all", false, "run every experiment")
+	parallel := fs.Int("parallel", 1, "experiments to run concurrently (results still print in order)")
+	quick := fs.Bool("quick", false, "short horizons and single seed")
+	seed := fs.Uint64("seed", 0, "base seed offset for replication")
+	csvDir := fs.String("csv", "", "directory to write per-experiment CSV tables into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *all {
+		ids = expt.IDs()
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("nothing to run: pass -all or -e <id> (have %v)", expt.IDs())
+	}
+	runner := &expt.Runner{Quick: *quick, BaseSeed: *seed}
+	if *parallel < 1 {
+		*parallel = 1
+	}
+
+	type outcome struct {
+		res     *expt.Result
+		err     error
+		elapsed time.Duration
+	}
+	outcomes := make([]outcome, len(ids))
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res, err := runner.Run(id)
+			outcomes[i] = outcome{res: res, err: err, elapsed: time.Since(start)}
+		}(i, id)
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		o := outcomes[i]
+		if o.err != nil {
+			return fmt.Errorf("%s: %w", id, o.err)
+		}
+		fmt.Println(o.res.Render())
+		fmt.Printf("[%s finished in %v]\n\n", o.res.ID, o.elapsed.Round(time.Millisecond))
+		if *csvDir != "" && o.res.Table != nil {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, strings.ToLower(o.res.ID)+".csv")
+			if err := os.WriteFile(path, []byte(o.res.Table.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

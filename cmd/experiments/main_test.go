@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-e", "E4", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "e4.csv"))
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if len(blob) == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no experiments requested should error")
+	}
+	if err := run([]string{"-e", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	if err := run([]string{"-quick", "-parallel", "3", "-e", "E4", "-e", "E2", "-e", "E12"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestRunSmallSweep(t *testing.T) {
+	err := run([]string{"-mesh", "3x3", "-points", "2", "-warmup", "200",
+		"-measure", "500", "-max-load", "0.2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllPatterns(t *testing.T) {
+	for _, p := range []string{"uniform", "transpose", "bitcomp", "hotspot"} {
+		err := run([]string{"-mesh", "3x3", "-pattern", p, "-points", "1",
+			"-warmup", "100", "-measure", "300"})
+		if err != nil {
+			t.Fatalf("pattern %s: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-mesh", "x"}); err == nil {
+		t.Error("bad mesh accepted")
+	}
+	if err := run([]string{"-pattern", "nope"}); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestRunTorus(t *testing.T) {
+	err := run([]string{"-mesh", "4x4", "-topology", "torus", "-vcs", "2",
+		"-points", "1", "-warmup", "100", "-measure", "400"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topology", "klein-bottle"}); err == nil {
+		t.Error("bogus topology accepted")
+	}
+	if err := run([]string{"-topology", "torus", "-vcs", "1", "-points", "1"}); err == nil {
+		t.Error("torus with one VC accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Command potsim runs one manycore simulation and prints a report.
+//
+// Usage:
+//
+//	potsim [flags]
+//
+// Examples:
+//
+//	potsim -mesh 8x8 -policy pots -mapper TUM -horizon 500ms
+//	potsim -policy naive -tdp-frac 0.25 -seed 7 -trace
+//	potsim -node 22nm -faults -horizon 1s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"potsim/internal/core"
+	"potsim/internal/sim"
+	"potsim/internal/tech"
+	"potsim/internal/viz"
+	"potsim/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "potsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("potsim", flag.ContinueOnError)
+	var (
+		mesh     = fs.String("mesh", "8x8", "mesh geometry WxH")
+		node     = fs.String("node", "16nm", "technology node (45nm/32nm/22nm/16nm)")
+		policy   = fs.String("policy", "pots", "test policy: pots|notest|naive|periodic")
+		mapper   = fs.String("mapper", "TUM", "mapping policy: FF|NN|CoNA|TUM")
+		horizon  = fs.Duration("horizon", 500*time.Millisecond, "simulated horizon")
+		iat      = fs.Duration("interarrival", 2*time.Millisecond, "mean application interarrival")
+		tdpFrac  = fs.Float64("tdp-frac", 0.35, "TDP as a fraction of theoretical chip peak power")
+		tdpWatts = fs.Float64("tdp-watts", 0, "explicit TDP in watts (overrides -tdp-frac)")
+		levels   = fs.Int("levels", 8, "DVFS operating points")
+		seed     = fs.Uint64("seed", 1, "root random seed")
+		faults   = fs.Bool("faults", false, "enable stochastic fault injection")
+		nocMode  = fs.String("noc", "txn", "interconnect mode: txn (analytic) or flit (co-simulated)")
+		decomm   = fs.Bool("decommission", false, "retire cores whose faults are detected")
+		cfgPath  = fs.String("config", "", "JSON config file (flags override its values)")
+		wlTrace  = fs.String("workload", "", "replay a recorded workload trace (JSONL)")
+		recTrace = fs.String("record", "", "record this run's arrivals as a JSONL trace")
+		bursty   = fs.Bool("bursty", false, "modulate arrivals with on/off burst phases")
+		topology = fs.String("topology", "mesh", "interconnect topology: mesh or torus")
+		events   = fs.String("events", "", "write the run's event log as JSONL to this file")
+		trace    = fs.Bool("trace", false, "print the power trace")
+		jsonOut  = fs.Bool("json", false, "emit the full report as JSON instead of text")
+		hist     = fs.Bool("levels-hist", false, "print the per-level test histogram")
+		heat     = fs.Bool("heatmaps", false, "print per-core stress/test/utilization heatmaps")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	if *cfgPath != "" {
+		blob, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(blob, &cfg); err != nil {
+			return fmt.Errorf("parsing %s: %w", *cfgPath, err)
+		}
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(strings.ToLower(*mesh), "%dx%d", &w, &h); err != nil {
+		return fmt.Errorf("bad -mesh %q: %v", *mesh, err)
+	}
+	cfg.Width, cfg.Height = w, h
+	n, err := tech.ByName(*node)
+	if err != nil {
+		return err
+	}
+	cfg.Node = n
+	cfg.TestPolicy = core.TestPolicyKind(strings.ToLower(*policy))
+	cfg.MapperName = *mapper
+	cfg.Horizon = sim.FromDuration(*horizon)
+	cfg.MeanInterarrival = sim.FromDuration(*iat)
+	cfg.TDPFraction = *tdpFrac
+	cfg.TDPWatts = *tdpWatts
+	cfg.DVFSLevels = *levels
+	cfg.Seed = *seed
+	cfg.EnableFaults = *faults
+	cfg.NoCMode = *nocMode
+	cfg.DecommissionOnDetect = *decomm
+	cfg.TracePath = *wlTrace
+	cfg.RecordTracePath = *recTrace
+	cfg.NoCTopology = *topology
+	if *events != "" && cfg.EventLogCapacity == 0 {
+		cfg.EventLogCapacity = 1 << 20
+	}
+	if *bursty {
+		cfg.Burst = workload.DefaultBurstiness()
+	}
+
+	sys, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep, err := sys.Run()
+	if err != nil {
+		return err
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return err
+		}
+		werr := sys.Events().WriteJSONL(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	if *jsonOut {
+		blob, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+		return nil
+	}
+	fmt.Print(rep.Summary())
+	fmt.Printf("  wallclock: %v\n", time.Since(start).Round(time.Millisecond))
+	if *hist {
+		fmt.Println("\nCompleted tests per DVFS level:")
+		fmt.Print(rep.LevelHistogram())
+	}
+	if *trace {
+		fmt.Println("\nt(ms)  workload(W)  test(W)  TDP(W)")
+		for _, p := range rep.Trace {
+			fmt.Printf("%8.2f  %8.3f  %8.3f  %8.3f\n",
+				p.At.Millis(), p.Workload, p.Test, p.Budget)
+		}
+	}
+	if *heat {
+		fmt.Println()
+		for _, hm := range []struct {
+			title string
+			vals  []float64
+		}{
+			{"aging stress per core:", rep.PerCoreStress},
+			{"utilization (EWMA) per core:", rep.PerCoreUtil},
+			{"idle fraction per core:", rep.PerCoreIdleFrac},
+		} {
+			out, err := viz.Heatmap(hm.title, cfg.Width, cfg.Height, hm.vals)
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		}
+		if len(rep.PerCoreTests) > 0 {
+			out, err := viz.HeatmapInts("completed tests per core:", cfg.Width, cfg.Height, rep.PerCoreTests)
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"potsim/internal/core"
+)
+
+func TestRunDefaultFlags(t *testing.T) {
+	if err := run([]string{"-horizon", "20ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-mesh", "banana"},
+		{"-node", "7nm"},
+		{"-policy", "nope", "-horizon", "10ms"},
+		{"-mapper", "nope", "-horizon", "10ms"},
+		{"-noc", "quantum", "-horizon", "10ms"},
+		{"-tdp-frac", "0", "-horizon", "10ms"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunWithTraceAndHistogram(t *testing.T) {
+	if err := run([]string{"-horizon", "20ms", "-trace", "-levels-hist"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	if err := run([]string{"-horizon", "10ms", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConfigFile(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Width, cfg.Height = 6, 6
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path, "-mesh", "6x6", "-horizon", "10ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", "/does/not/exist.json"}); err == nil {
+		t.Error("missing config file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if err := run([]string{"-config", bad}); err == nil {
+		t.Error("unparseable config accepted")
+	}
+}
+
+func TestRunHeatmaps(t *testing.T) {
+	if err := run([]string{"-horizon", "20ms", "-heatmaps"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecordThenReplay(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "wl.jsonl")
+	if err := run([]string{"-horizon", "20ms", "-record", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-horizon", "20ms", "-workload", trace}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBursty(t *testing.T) {
+	if err := run([]string{"-horizon", "20ms", "-bursty"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEventsDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := run([]string{"-horizon", "20ms", "-events", path}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Error("empty event log")
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(string(blob), "\n", 2)[0]), &first); err != nil {
+		t.Fatalf("event log not JSONL: %v", err)
+	}
+}
+
+func TestRunTorusTopology(t *testing.T) {
+	if err := run([]string{"-horizon", "15ms", "-topology", "torus"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topology", "donut"}); err == nil {
+		t.Error("bogus topology accepted")
+	}
+}

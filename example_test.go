@@ -1,0 +1,74 @@
+package potsim_test
+
+import (
+	"fmt"
+
+	"potsim"
+	"potsim/internal/sim"
+)
+
+// Example runs the default system for a short horizon and inspects the
+// report — deterministic given the seed, so the output is testable.
+func Example() {
+	cfg := potsim.DefaultConfig()
+	cfg.Horizon = 50 * sim.Millisecond
+	cfg.Seed = 42
+
+	sys, err := potsim.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("policy:", rep.PolicyName)
+	fmt.Println("tdp honoured:", rep.TDPViolations == 0)
+	fmt.Println("tests ran:", rep.TestsCompleted > 0)
+	// Output:
+	// policy: POTS
+	// tdp honoured: true
+	// tests ran: true
+}
+
+// ExampleNew_baselineComparison shows the penalty measurement the paper's
+// headline claim is based on: the same seed with and without testing.
+func ExampleNew_baselineComparison() {
+	cfg := potsim.DefaultConfig()
+	cfg.Horizon = 50 * sim.Millisecond
+	cfg.MapperName = "NN" // identical mapping across policies
+
+	run := func(p potsim.Config) *potsim.Report {
+		sys, err := potsim.New(p)
+		if err != nil {
+			panic(err)
+		}
+		rep, err := sys.Run()
+		if err != nil {
+			panic(err)
+		}
+		return rep
+	}
+	withTests := run(cfg)
+	cfg.TestPolicy = potsim.PolicyNoTest
+	baseline := run(cfg)
+
+	penalty := withTests.ThroughputPenalty(baseline)
+	fmt.Println("penalty below 3%:", penalty < 0.03)
+	// Output:
+	// penalty below 3%: true
+}
+
+// ExampleRunExperiment regenerates one of the paper-reproduction
+// experiments in quick mode.
+func ExampleRunExperiment() {
+	res, err := potsim.RunExperiment("E4", true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("id:", res.ID)
+	fmt.Println("rows:", len(res.Table.Rows))
+	// Output:
+	// id: E4
+	// rows: 8
+}

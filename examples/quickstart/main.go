@@ -1,0 +1,34 @@
+// Quickstart: build the default 8x8 16nm manycore, run half a simulated
+// second with the proposed power-aware online test scheduler, and print
+// the report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"potsim/internal/core"
+	"potsim/internal/sim"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = 500 * sim.Millisecond
+	cfg.Seed = 42
+
+	sys, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(rep.Summary())
+	fmt.Println("\nCompleted tests per DVFS level (near-threshold ... nominal):")
+	fmt.Print(rep.LevelHistogram())
+	fmt.Printf("Mean per-core test interval: %.1f ms\n", rep.MeanTestIntervalMS())
+}

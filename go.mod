@@ -1,0 +1,3 @@
+module potsim
+
+go 1.22

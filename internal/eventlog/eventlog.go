@@ -1,0 +1,131 @@
+// Package eventlog provides a bounded, allocation-friendly record of the
+// simulation's notable events (mappings, test launches and outcomes,
+// fault injections and detections, decommissions). It is the audit trail
+// behind debugging and external visualisation; the system writes to it
+// only when a capacity is configured, so default runs pay nothing.
+package eventlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"potsim/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds recorded by the manycore system.
+const (
+	AppArrived     Kind = "app-arrived"
+	AppMapped      Kind = "app-mapped"
+	AppCompleted   Kind = "app-completed"
+	TestStarted    Kind = "test-started"
+	TestCompleted  Kind = "test-completed"
+	TestAborted    Kind = "test-aborted"
+	FaultInjected  Kind = "fault-injected"
+	FaultDetected  Kind = "fault-detected"
+	Decommissioned Kind = "core-decommissioned"
+)
+
+// Event is one timestamped occurrence.
+type Event struct {
+	At   sim.Time `json:"at_ns"`
+	Kind Kind     `json:"kind"`
+	Core int      `json:"core"` // -1 when not core-specific
+	App  int      `json:"app"`  // -1 when not app-specific
+	Note string   `json:"note,omitempty"`
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	s := fmt.Sprintf("%v %s", e.At, e.Kind)
+	if e.Core >= 0 {
+		s += fmt.Sprintf(" core=%d", e.Core)
+	}
+	if e.App >= 0 {
+		s += fmt.Sprintf(" app=%d", e.App)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Log is a bounded ring of events. When full, the oldest events are
+// dropped (and counted), keeping the most recent history.
+type Log struct {
+	buf     []Event
+	start   int // index of oldest
+	size    int
+	dropped int
+	counts  map[Kind]int
+}
+
+// New returns a log holding at most capacity events. capacity <= 0
+// yields a disabled log whose Record is a no-op.
+func New(capacity int) *Log {
+	l := &Log{counts: make(map[Kind]int)}
+	if capacity > 0 {
+		l.buf = make([]Event, capacity)
+	}
+	return l
+}
+
+// Enabled reports whether the log stores events.
+func (l *Log) Enabled() bool { return len(l.buf) > 0 }
+
+// Record appends an event (a no-op for a disabled log). Counts by kind
+// are kept even for events later rotated out of the ring.
+func (l *Log) Record(e Event) {
+	if !l.Enabled() {
+		return
+	}
+	l.counts[e.Kind]++
+	if l.size < len(l.buf) {
+		l.buf[(l.start+l.size)%len(l.buf)] = e
+		l.size++
+		return
+	}
+	// Overwrite the oldest.
+	l.buf[l.start] = e
+	l.start = (l.start + 1) % len(l.buf)
+	l.dropped++
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return l.size }
+
+// Dropped returns how many events were rotated out of the ring.
+func (l *Log) Dropped() int { return l.dropped }
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	out := make([]Event, 0, l.size)
+	for i := 0; i < l.size; i++ {
+		out = append(out, l.buf[(l.start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// CountByKind returns total event counts per kind since the start
+// (including rotated-out events). The returned map is a copy.
+func (l *Log) CountByKind() map[Kind]int {
+	out := make(map[Kind]int, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteJSONL streams the retained events as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := 0; i < l.size; i++ {
+		if err := enc.Encode(l.buf[(l.start+i)%len(l.buf)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"potsim/internal/sim"
+)
+
+func ev(at int, kind Kind) Event {
+	return Event{At: sim.Time(at), Kind: kind, Core: -1, App: -1}
+}
+
+func TestDisabledLogIsNoop(t *testing.T) {
+	l := New(0)
+	if l.Enabled() {
+		t.Fatal("zero-capacity log claims enabled")
+	}
+	l.Record(ev(1, TestStarted))
+	if l.Len() != 0 || l.Dropped() != 0 {
+		t.Error("disabled log stored something")
+	}
+}
+
+func TestRecordAndOrder(t *testing.T) {
+	l := New(10)
+	for i := 1; i <= 5; i++ {
+		l.Record(ev(i, TestStarted))
+	}
+	events := l.Events()
+	if len(events) != 5 {
+		t.Fatalf("len = %d", len(events))
+	}
+	for i, e := range events {
+		if e.At != sim.Time(i+1) {
+			t.Errorf("event %d at %v, want %d", i, e.At, i+1)
+		}
+	}
+}
+
+func TestRingRotation(t *testing.T) {
+	l := New(3)
+	for i := 1; i <= 7; i++ {
+		l.Record(ev(i, AppMapped))
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 4 {
+		t.Errorf("dropped = %d, want 4", l.Dropped())
+	}
+	events := l.Events()
+	want := []sim.Time{5, 6, 7}
+	for i, e := range events {
+		if e.At != want[i] {
+			t.Errorf("retained event %d at %v, want %v", i, e.At, want[i])
+		}
+	}
+	// Counts survive rotation.
+	if l.CountByKind()[AppMapped] != 7 {
+		t.Errorf("count = %d, want 7", l.CountByKind()[AppMapped])
+	}
+}
+
+func TestCountByKindIsolatedCopy(t *testing.T) {
+	l := New(4)
+	l.Record(ev(1, FaultInjected))
+	m := l.CountByKind()
+	m[FaultInjected] = 99
+	if l.CountByKind()[FaultInjected] != 1 {
+		t.Error("CountByKind exposed internal map")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	l := New(4)
+	l.Record(Event{At: 5, Kind: TestCompleted, Core: 3, App: -1, Note: "march-quick"})
+	l.Record(Event{At: 9, Kind: FaultDetected, Core: 3, App: -1})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var decoded Event
+	if err := json.Unmarshal([]byte(lines[0]), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Kind != TestCompleted || decoded.Core != 3 || decoded.Note != "march-quick" {
+		t.Errorf("decoded %+v", decoded)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: sim.Microsecond, Kind: TestAborted, Core: 7, App: 2, Note: "preempted"}
+	s := e.String()
+	for _, want := range []string{"test-aborted", "core=7", "app=2", "preempted"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: the ring always retains the most recent min(n, capacity)
+// events in order, and dropped + retained equals recorded.
+func TestRingProperty(t *testing.T) {
+	prop := func(capRaw uint8, n uint8) bool {
+		capacity := int(capRaw%16) + 1
+		l := New(capacity)
+		for i := 0; i < int(n); i++ {
+			l.Record(ev(i, TestStarted))
+		}
+		events := l.Events()
+		if l.Len()+l.Dropped() != int(n) {
+			return false
+		}
+		want := int(n)
+		if want > capacity {
+			want = capacity
+		}
+		if len(events) != want {
+			return false
+		}
+		for i := 1; i < len(events); i++ {
+			if events[i].At != events[i-1].At+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

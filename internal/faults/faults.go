@@ -1,0 +1,292 @@
+// Package faults models permanent and intermittent hardware faults in the
+// manycore: aging-driven injection, per-core fault registries, and the
+// detection/escape bookkeeping the evaluation reports (detection latency,
+// corrupted-task counts).
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"potsim/internal/sim"
+)
+
+// Kind classifies a fault.
+type Kind int
+
+// Fault kinds covered by the SBST routines.
+const (
+	// StuckAt is a permanent stuck-at-0/1 defect; always active.
+	StuckAt Kind = iota
+	// Delay is a permanent timing defect; active, but only observable by
+	// test phases that exercise critical paths (higher escape chance).
+	Delay
+	// Intermittent activates probabilistically, e.g. marginal contacts.
+	Intermittent
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case StuckAt:
+		return "stuck-at"
+	case Delay:
+		return "delay"
+	case Intermittent:
+		return "intermittent"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one injected defect on one core.
+type Fault struct {
+	ID         int
+	Core       int
+	Kind       Kind
+	InjectedAt sim.Time
+	DetectedAt sim.Time // meaningful only when Detected
+	Detected   bool
+
+	// Activation is the probability the fault is excited during any given
+	// observation window (1 for permanent kinds).
+	Activation float64
+
+	// Escapes counts test runs that completed on the core while this
+	// fault was present but missed it.
+	Escapes int
+
+	// Corruptions counts workload tasks this fault silently corrupted
+	// before detection.
+	Corruptions int
+}
+
+// Latency returns the detection latency, or -1 if undetected.
+func (f *Fault) Latency() sim.Time {
+	if !f.Detected {
+		return -1
+	}
+	return f.DetectedAt - f.InjectedAt
+}
+
+// InjectorConfig drives stochastic fault arrival.
+type InjectorConfig struct {
+	// BaseRatePerSec is the per-core fault arrival rate for a fresh core.
+	BaseRatePerSec float64
+	// StressGain multiplies the rate at full aging stress: rate(s) =
+	// base * (1 + StressGain*s). Aging makes premature faults more likely,
+	// which is the paper's motivation for online testing.
+	StressGain float64
+	// IntermittentShare and DelayShare split arrivals by kind; the rest
+	// are stuck-at. Shares must sum to <= 1.
+	IntermittentShare float64
+	DelayShare        float64
+	// IntermittentActivation is the activation probability for
+	// intermittent faults per observation window.
+	IntermittentActivation float64
+}
+
+// DefaultInjectorConfig returns rates sized for accelerated-aging runs.
+func DefaultInjectorConfig() InjectorConfig {
+	return InjectorConfig{
+		BaseRatePerSec:         0.02,
+		StressGain:             9,
+		IntermittentShare:      0.25,
+		DelayShare:             0.25,
+		IntermittentActivation: 0.35,
+	}
+}
+
+// Validate checks the configuration.
+func (c InjectorConfig) Validate() error {
+	if c.BaseRatePerSec < 0 || c.StressGain < 0 {
+		return fmt.Errorf("faults: rates must be non-negative")
+	}
+	if c.IntermittentShare < 0 || c.DelayShare < 0 ||
+		c.IntermittentShare+c.DelayShare > 1 {
+		return fmt.Errorf("faults: kind shares must be non-negative and sum <= 1")
+	}
+	if c.IntermittentActivation <= 0 || c.IntermittentActivation > 1 {
+		return fmt.Errorf("faults: IntermittentActivation must be in (0,1]")
+	}
+	return nil
+}
+
+// Board owns all fault state for a chip.
+type Board struct {
+	cfg    InjectorConfig
+	rng    *sim.Stream
+	byCore [][]*Fault
+	all    []*Fault
+	nextID int
+}
+
+// NewBoard creates a fault board for n cores drawing from rng.
+func NewBoard(n int, cfg InjectorConfig, rng *sim.Stream) (*Board, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("faults: invalid core count %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("faults: nil rng")
+	}
+	return &Board{cfg: cfg, rng: rng, byCore: make([][]*Fault, n)}, nil
+}
+
+// MaybeInject draws fault arrivals for core over an interval of dt with
+// the given aging stress in [0,1], returning any newly injected faults.
+func (b *Board) MaybeInject(now sim.Time, dt sim.Time, core int, stress float64) []*Fault {
+	rate := b.cfg.BaseRatePerSec * (1 + b.cfg.StressGain*clamp01(stress))
+	p := rate * dt.Seconds()
+	if p <= 0 || !b.rng.Bernoulli(math.Min(p, 1)) {
+		return nil
+	}
+	f := &Fault{ID: b.nextID, Core: core, InjectedAt: now, Activation: 1}
+	b.nextID++
+	r := b.rng.Float64()
+	switch {
+	case r < b.cfg.IntermittentShare:
+		f.Kind = Intermittent
+		f.Activation = b.cfg.IntermittentActivation
+	case r < b.cfg.IntermittentShare+b.cfg.DelayShare:
+		f.Kind = Delay
+	default:
+		f.Kind = StuckAt
+	}
+	b.byCore[core] = append(b.byCore[core], f)
+	b.all = append(b.all, f)
+	return []*Fault{f}
+}
+
+// Inject places a specific fault (deterministic test scenarios).
+func (b *Board) Inject(core int, kind Kind, now sim.Time) *Fault {
+	f := &Fault{ID: b.nextID, Core: core, Kind: kind, InjectedAt: now, Activation: 1}
+	if kind == Intermittent {
+		f.Activation = b.cfg.IntermittentActivation
+	}
+	b.nextID++
+	b.byCore[core] = append(b.byCore[core], f)
+	b.all = append(b.all, f)
+	return f
+}
+
+// Undetected returns the live (undetected) faults on core.
+func (b *Board) Undetected(core int) []*Fault {
+	var out []*Fault
+	for _, f := range b.byCore[core] {
+		if !f.Detected {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HasUndetected reports whether core carries at least one live fault.
+func (b *Board) HasUndetected(core int) bool {
+	for _, f := range b.byCore[core] {
+		if !f.Detected {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyTest resolves a completed SBST run on core with per-fault-class
+// coverages in [0,1]. covSA applies to stuck-at and intermittent defects;
+// covDelay applies to delay defects derated by atSpeed, the ratio of the
+// test's clock to the nominal clock — delay defects are timing failures,
+// so a routine run below speed exercises relaxed paths and detects them
+// with proportionally lower probability (the V/f-level reliability issue
+// the TC'16 extension accounts for). Misses are recorded as escapes;
+// detected faults are returned.
+func (b *Board) ApplyTest(core int, now sim.Time, covSA, covDelay, atSpeed float64) []*Fault {
+	covSA = clamp01(covSA)
+	covDelay = clamp01(covDelay)
+	atSpeed = clamp01(atSpeed)
+	var caught []*Fault
+	for _, f := range b.byCore[core] {
+		if f.Detected {
+			continue
+		}
+		var pDetect float64
+		switch f.Kind {
+		case Delay:
+			pDetect = covDelay * atSpeed * f.Activation
+		default:
+			pDetect = covSA * f.Activation
+		}
+		if b.rng.Bernoulli(pDetect) {
+			f.Detected = true
+			f.DetectedAt = now
+			caught = append(caught, f)
+		} else {
+			f.Escapes++
+		}
+	}
+	return caught
+}
+
+// RecordCorruption notes that a live fault on core corrupted a workload
+// task (silent data corruption). Each live fault corrupts independently
+// with its activation probability; the call reports how many corruptions
+// occurred.
+func (b *Board) RecordCorruption(core int) int {
+	n := 0
+	for _, f := range b.byCore[core] {
+		if f.Detected {
+			continue
+		}
+		if b.rng.Bernoulli(f.Activation) {
+			f.Corruptions++
+			n++
+		}
+	}
+	return n
+}
+
+// All returns every fault ever injected (shared slice; do not modify).
+func (b *Board) All() []*Fault { return b.all }
+
+// Stats summarises detection outcomes at the end of a run.
+type Stats struct {
+	Injected      int
+	Detected      int
+	Undetected    int
+	MeanLatency   sim.Time // over detected faults
+	WorstLatency  sim.Time
+	TotalEscapes  int
+	Corruptions   int
+	DetectionRate float64
+}
+
+// Summarise computes detection statistics.
+func (b *Board) Summarise() Stats {
+	var s Stats
+	var latSum sim.Time
+	for _, f := range b.all {
+		s.Injected++
+		s.TotalEscapes += f.Escapes
+		s.Corruptions += f.Corruptions
+		if f.Detected {
+			s.Detected++
+			l := f.Latency()
+			latSum += l
+			if l > s.WorstLatency {
+				s.WorstLatency = l
+			}
+		} else {
+			s.Undetected++
+		}
+	}
+	if s.Detected > 0 {
+		s.MeanLatency = latSum / sim.Time(s.Detected)
+	}
+	if s.Injected > 0 {
+		s.DetectionRate = float64(s.Detected) / float64(s.Injected)
+	}
+	return s
+}
+
+func clamp01(x float64) float64 { return math.Min(1, math.Max(0, x)) }

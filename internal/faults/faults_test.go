@@ -1,0 +1,239 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+func testBoard(t *testing.T, n int) *Board {
+	t.Helper()
+	b, err := NewBoard(n, DefaultInjectorConfig(), sim.NewRNG(1).Stream("faults"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBoardValidation(t *testing.T) {
+	rng := sim.NewRNG(1).Stream("x")
+	if _, err := NewBoard(0, DefaultInjectorConfig(), rng); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewBoard(4, DefaultInjectorConfig(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	bad := DefaultInjectorConfig()
+	bad.IntermittentShare = 0.8
+	bad.DelayShare = 0.5
+	if _, err := NewBoard(4, bad, rng); err == nil {
+		t.Error("kind shares summing > 1 accepted")
+	}
+	bad = DefaultInjectorConfig()
+	bad.IntermittentActivation = 0
+	if _, err := NewBoard(4, bad, rng); err == nil {
+		t.Error("zero activation accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if StuckAt.String() != "stuck-at" || Delay.String() != "delay" ||
+		Intermittent.String() != "intermittent" {
+		t.Error("kind names wrong")
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Error("unknown kind not formatted")
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	b := testBoard(t, 4)
+	f := b.Inject(2, StuckAt, 5*sim.Millisecond)
+	if f.Core != 2 || f.Kind != StuckAt || f.Activation != 1 {
+		t.Errorf("unexpected fault %+v", f)
+	}
+	if !b.HasUndetected(2) || b.HasUndetected(1) {
+		t.Error("HasUndetected wrong")
+	}
+	if got := len(b.Undetected(2)); got != 1 {
+		t.Errorf("Undetected(2) has %d entries", got)
+	}
+	fi := b.Inject(2, Intermittent, 6*sim.Millisecond)
+	if fi.Activation != DefaultInjectorConfig().IntermittentActivation {
+		t.Errorf("intermittent activation = %v", fi.Activation)
+	}
+}
+
+func TestStressRaisesInjectionRate(t *testing.T) {
+	count := func(stress float64) int {
+		b := testBoard(t, 1)
+		n := 0
+		for i := 0; i < 20000; i++ {
+			at := sim.Time(i) * sim.Millisecond
+			n += len(b.MaybeInject(at, sim.Millisecond, 0, stress))
+		}
+		return n
+	}
+	fresh := count(0)
+	worn := count(1)
+	if worn <= fresh*3 {
+		t.Errorf("stress should raise fault rate strongly: fresh=%d worn=%d", fresh, worn)
+	}
+}
+
+func TestApplyTestPerfectCoverageCatchesPermanent(t *testing.T) {
+	b := testBoard(t, 1)
+	f := b.Inject(0, StuckAt, 0)
+	caught := b.ApplyTest(0, 10*sim.Millisecond, 1, 1, 1)
+	if len(caught) != 1 || caught[0] != f {
+		t.Fatalf("perfect test missed a stuck-at fault")
+	}
+	if !f.Detected || f.Latency() != 10*sim.Millisecond {
+		t.Errorf("latency = %v", f.Latency())
+	}
+	// Already-detected faults are not re-reported.
+	if again := b.ApplyTest(0, 20*sim.Millisecond, 1, 1, 1); len(again) != 0 {
+		t.Error("detected fault reported twice")
+	}
+}
+
+func TestApplyTestZeroCoverageCatchesNothing(t *testing.T) {
+	b := testBoard(t, 1)
+	f := b.Inject(0, StuckAt, 0)
+	if caught := b.ApplyTest(0, sim.Millisecond, 0, 0, 1); len(caught) != 0 {
+		t.Error("zero-coverage test detected a fault")
+	}
+	if f.Escapes != 1 {
+		t.Errorf("escape not recorded: %d", f.Escapes)
+	}
+}
+
+func TestIntermittentNeedsRepeatedTests(t *testing.T) {
+	b := testBoard(t, 1)
+	b.Inject(0, Intermittent, 0)
+	runs := 0
+	for i := 1; i <= 200; i++ {
+		runs = i
+		if len(b.ApplyTest(0, sim.Time(i)*sim.Millisecond, 1, 1, 1)) == 1 {
+			break
+		}
+	}
+	if runs == 1 {
+		t.Log("intermittent caught on first run (possible but rare)")
+	}
+	if !b.All()[0].Detected {
+		t.Fatal("intermittent fault never detected in 200 full-coverage runs")
+	}
+}
+
+func TestRecordCorruption(t *testing.T) {
+	b := testBoard(t, 2)
+	b.Inject(0, StuckAt, 0) // activation 1: corrupts every task
+	if n := b.RecordCorruption(0); n != 1 {
+		t.Errorf("stuck-at corruption count = %d, want 1", n)
+	}
+	if n := b.RecordCorruption(1); n != 0 {
+		t.Errorf("healthy core corrupted %d tasks", n)
+	}
+	f := b.All()[0]
+	f.Detected = true
+	if n := b.RecordCorruption(0); n != 0 {
+		t.Error("detected fault still corrupts")
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	b := testBoard(t, 3)
+	f1 := b.Inject(0, StuckAt, 0)
+	b.Inject(1, StuckAt, 0)
+	f3 := b.Inject(2, StuckAt, 5*sim.Millisecond)
+	f1.Detected, f1.DetectedAt = true, 10*sim.Millisecond
+	f3.Detected, f3.DetectedAt = true, 25*sim.Millisecond
+	f3.Escapes = 2
+	f3.Corruptions = 1
+
+	s := b.Summarise()
+	if s.Injected != 3 || s.Detected != 2 || s.Undetected != 1 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.MeanLatency != 15*sim.Millisecond {
+		t.Errorf("mean latency = %v, want 15ms", s.MeanLatency)
+	}
+	if s.WorstLatency != 20*sim.Millisecond {
+		t.Errorf("worst latency = %v, want 20ms", s.WorstLatency)
+	}
+	if s.TotalEscapes != 2 || s.Corruptions != 1 {
+		t.Errorf("escape/corruption counts wrong: %+v", s)
+	}
+	if math.Abs(s.DetectionRate-2.0/3) > 1e-9 {
+		t.Errorf("detection rate = %v", s.DetectionRate)
+	}
+}
+
+func TestLatencyUndetected(t *testing.T) {
+	f := &Fault{}
+	if f.Latency() != -1 {
+		t.Error("undetected fault latency should be -1")
+	}
+}
+
+func TestInjectionDeterministicAcrossRuns(t *testing.T) {
+	run := func() []int {
+		b, err := NewBoard(4, DefaultInjectorConfig(), sim.NewRNG(99).Stream("faults"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []int
+		for i := 0; i < 5000; i++ {
+			at := sim.Time(i) * sim.Millisecond
+			for c := 0; c < 4; c++ {
+				for _, f := range b.MaybeInject(at, sim.Millisecond, c, 0.5) {
+					ids = append(ids, f.Core*1000000+int(f.InjectedAt/sim.Millisecond))
+				}
+			}
+		}
+		return ids
+	}
+	a, bIDs := run(), run()
+	if len(a) != len(bIDs) {
+		t.Fatalf("runs differ: %d vs %d faults", len(a), len(bIDs))
+	}
+	for i := range a {
+		if a[i] != bIDs[i] {
+			t.Fatalf("fault sequence diverges at %d", i)
+		}
+	}
+}
+
+func TestDelayFaultsNeedAtSpeedTesting(t *testing.T) {
+	// A delay fault is essentially invisible to a near-threshold test
+	// (atSpeed ~ 0.1) but readily caught at speed.
+	catchRate := func(atSpeed float64) float64 {
+		b := testBoard(t, 1)
+		caught := 0
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			f := b.Inject(0, Delay, 0)
+			if len(b.ApplyTest(0, sim.Millisecond, 1, 1, atSpeed)) == 1 {
+				caught++
+			}
+			f.Detected = true // retire for the next trial
+		}
+		return float64(caught) / trials
+	}
+	slow := catchRate(0.1)
+	fast := catchRate(1.0)
+	if fast < 0.9 {
+		t.Errorf("at-speed delay detection rate = %v, want ~1.0 at full delay coverage", fast)
+	}
+	if slow > fast/3 {
+		t.Errorf("near-threshold delay detection %v not much lower than at-speed %v", slow, fast)
+	}
+	// Stuck-at detection is speed independent.
+	b := testBoard(t, 1)
+	b.Inject(0, StuckAt, 0)
+	if len(b.ApplyTest(0, sim.Millisecond, 1, 1, 0.05)) != 1 {
+		t.Error("stuck-at fault missed by a slow full-coverage test")
+	}
+}

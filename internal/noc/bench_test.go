@@ -1,0 +1,47 @@
+package noc
+
+import (
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+// BenchmarkStepLoaded measures router cycles per second at moderate load.
+func BenchmarkStepLoaded(b *testing.B) {
+	net, err := NewNetwork(DefaultConfig(8, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := NewGenerator(net, Uniform, sim.NewRNG(1).Stream("b"), 0.3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gen.Tick(); err != nil {
+			b.Fatal(err)
+		}
+		net.Step()
+	}
+}
+
+// BenchmarkStepIdle measures the idle-router fast path.
+func BenchmarkStepIdle(b *testing.B) {
+	net, err := NewNetwork(DefaultConfig(8, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+// BenchmarkTxnLatency measures the analytic model evaluation cost.
+func BenchmarkTxnLatency(b *testing.B) {
+	m := NewTxnModel(DefaultConfig(8, 8))
+	src, dst := Coord{0, 0}, Coord{7, 5}
+	for i := 0; i < b.N; i++ {
+		_ = m.Latency(src, dst, 4096, 0.5)
+	}
+}

@@ -1,0 +1,658 @@
+package noc
+
+import (
+	"fmt"
+)
+
+// fifo is a bounded flit queue.
+type fifo struct {
+	buf []Flit
+	cap int
+}
+
+func (q *fifo) len() int     { return len(q.buf) }
+func (q *fifo) full() bool   { return len(q.buf) >= q.cap }
+func (q *fifo) front() *Flit { return &q.buf[0] }
+func (q *fifo) push(f Flit)  { q.buf = append(q.buf, f) }
+func (q *fifo) pop() Flit    { f := q.buf[0]; q.buf = q.buf[1:]; return f }
+func (q *fifo) empty() bool  { return len(q.buf) == 0 }
+
+// vcState is one virtual channel of one input port: a FIFO plus the
+// routing/allocation state of the packet currently occupying it. Wormhole
+// discipline: a VC holds flits of at most one packet at a time, from the
+// moment its head is reserved until its tail is popped.
+type vcState struct {
+	fifo
+	owner   int  // packet ID occupying this VC, -1 when free
+	outPort Port // route of the occupying packet, -1 before route compute
+	outVC   int  // downstream VC allocated to the packet, -1 before VC alloc
+}
+
+func (v *vcState) reset() {
+	v.owner = -1
+	v.outPort = -1
+	v.outVC = -1
+}
+
+// router is one five-port wormhole router with V virtual channels per
+// input port.
+type router struct {
+	at Coord
+	// in[p][v] is virtual channel v of input port p. The Local port has
+	// a single unbounded VC (the injection queue; sources stall in the
+	// producer model, not in the router).
+	in [numPorts][]vcState
+	// rr[p] is the round-robin arbitration pointer for output port p over
+	// flattened (input port, vc) candidates.
+	rr [numPorts]int
+	// buffered counts flits currently held in any input FIFO, letting
+	// the per-cycle allocation loop skip idle routers cheaply.
+	buffered int
+}
+
+// move is a staged flit transfer decided in the allocation phase and
+// applied atomically at the end of the cycle, so a flit advances at most
+// one hop per cycle.
+type move struct {
+	from     *router
+	fromPort Port
+	fromVC   int
+	outPort  Port    // output port used at 'from' (link identity)
+	to       *router // nil = ejection at 'from'
+	toPort   Port
+	toVC     int
+}
+
+// Network is the flit-level mesh simulator.
+type Network struct {
+	cfg     Config
+	routers []*router
+	cycle   int64
+
+	packets   map[int]*Packet
+	delivered []*Packet
+	nextID    int
+
+	flitsMoved   int64
+	flitsEjected int64
+
+	// linkFlits[router][outPort] counts flits that traversed that link.
+	linkFlits [][]int64
+
+	// staged per-cycle state
+	moves    []move
+	incoming map[*vcState]int
+}
+
+// NewNetwork builds a mesh network.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:      cfg,
+		packets:  make(map[int]*Packet),
+		incoming: make(map[*vcState]int),
+	}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			r := &router{at: Coord{x, y}}
+			for p := Port(0); p < numPorts; p++ {
+				vcs := cfg.VirtualChannels
+				capacity := cfg.BufferDepth
+				if p == Local {
+					vcs = 1
+					capacity = 1 << 30 // injection queue is unbounded
+				}
+				r.in[p] = make([]vcState, vcs)
+				for v := range r.in[p] {
+					r.in[p][v] = vcState{fifo: fifo{cap: capacity}}
+					r.in[p][v].reset()
+				}
+			}
+			n.routers = append(n.routers, r)
+			n.linkFlits = append(n.linkFlits, make([]int64, numPorts))
+		}
+	}
+	return n, nil
+}
+
+// Cycle returns the current router clock cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+func (n *Network) routerAt(c Coord) *router {
+	return n.routers[c.Y*n.cfg.Width+c.X]
+}
+
+// valid reports whether a coordinate is inside the mesh.
+func (n *Network) valid(c Coord) bool {
+	return c.X >= 0 && c.X < n.cfg.Width && c.Y >= 0 && c.Y < n.cfg.Height
+}
+
+// Inject queues a packet of sizeFlits flits at src destined for dst.
+// It returns the tracked packet.
+func (n *Network) Inject(src, dst Coord, sizeFlits int) (*Packet, error) {
+	if !n.valid(src) || !n.valid(dst) {
+		return nil, fmt.Errorf("noc: inject %v -> %v outside %dx%d mesh",
+			src, dst, n.cfg.Width, n.cfg.Height)
+	}
+	if sizeFlits < 1 {
+		return nil, fmt.Errorf("noc: packet needs at least one flit")
+	}
+	pkt := &Packet{
+		ID: n.nextID, Src: src, Dst: dst, SizeFlits: sizeFlits,
+		InjectedAt: n.cycle, DeliveredAt: -1,
+	}
+	n.nextID++
+	n.packets[pkt.ID] = pkt
+	r := n.routerAt(src)
+	for i := 0; i < sizeFlits; i++ {
+		r.in[Local][0].push(Flit{
+			PacketID: pkt.ID, Src: src, Dst: dst, Seq: i,
+			IsHead: i == 0, IsTail: i == sizeFlits-1,
+		})
+	}
+	r.buffered += sizeFlits
+	return pkt, nil
+}
+
+// routeXY computes the dimension-ordered output port.
+func routeXY(at, dst Coord) Port {
+	switch {
+	case dst.X > at.X:
+		return East
+	case dst.X < at.X:
+		return West
+	case dst.Y > at.Y:
+		return South
+	case dst.Y < at.Y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// route keeps the original single-path name for XY.
+func route(at, dst Coord) Port { return routeXY(at, dst) }
+
+// routeCandidates returns the minimal output ports allowed by the
+// configured routing algorithm, in preference order. XY yields exactly
+// one; west-first yields up to three adaptive candidates (the Glass-Ni
+// turn model forbids only the two turns into West, so taking all west
+// hops first keeps the network deadlock free while the remaining
+// directions may be chosen adaptively by congestion).
+func (n *Network) routeCandidates(at, dst Coord) []Port {
+	if at == dst {
+		return []Port{Local}
+	}
+	if n.cfg.Topology == TopologyTorus {
+		return []Port{n.routeTorusXY(at, dst)}
+	}
+	if n.cfg.Routing != RoutingWestFirst {
+		return []Port{routeXY(at, dst)}
+	}
+	if dst.X < at.X {
+		return []Port{West} // all west hops first, no adaptivity
+	}
+	var cands []Port
+	if dst.X > at.X {
+		cands = append(cands, East)
+	}
+	if dst.Y > at.Y {
+		cands = append(cands, South)
+	}
+	if dst.Y < at.Y {
+		cands = append(cands, North)
+	}
+	return cands
+}
+
+// neighbour returns the router adjacent to r through out, and the input
+// port the flit arrives on there. On a torus, edges wrap around.
+func (n *Network) neighbour(r *router, out Port) (*router, Port) {
+	c := r.at
+	switch out {
+	case North:
+		c.Y--
+	case South:
+		c.Y++
+	case East:
+		c.X++
+	case West:
+		c.X--
+	default:
+		return nil, Local
+	}
+	if n.cfg.Topology == TopologyTorus {
+		c.X = (c.X + n.cfg.Width) % n.cfg.Width
+		c.Y = (c.Y + n.cfg.Height) % n.cfg.Height
+	}
+	if !n.valid(c) {
+		return nil, Local
+	}
+	var inPort Port
+	switch out {
+	case North:
+		inPort = South
+	case South:
+		inPort = North
+	case East:
+		inPort = West
+	case West:
+		inPort = East
+	}
+	return n.routerAt(c), inPort
+}
+
+// freeSlots returns the total free buffer space at an input port of a
+// router (the congestion signal adaptive routing selects by).
+func (n *Network) freeSlots(r *router, p Port) int {
+	sum := 0
+	for v := range r.in[p] {
+		vc := &r.in[p][v]
+		sum += vc.cap - vc.len() - n.incoming[vc]
+	}
+	return sum
+}
+
+// Step advances the network one clock cycle: route computation, VC
+// allocation and switch traversal for every router, applied atomically.
+func (n *Network) Step() {
+	n.moves = n.moves[:0]
+	clear(n.incoming)
+
+	for _, r := range n.routers {
+		if r.buffered == 0 {
+			continue
+		}
+		// Route + VC allocation for heads at the front of their VCs.
+		for p := Port(0); p < numPorts; p++ {
+			for v := range r.in[p] {
+				n.allocateVC(r, p, v)
+			}
+		}
+		// Switch allocation: one flit per output physical channel.
+		for out := Port(0); out < numPorts; out++ {
+			n.allocateSwitch(r, out)
+		}
+	}
+	// Apply staged moves.
+	for _, m := range n.moves {
+		src := &m.from.in[m.fromPort][m.fromVC]
+		f := src.pop()
+		m.from.buffered--
+		if f.IsTail {
+			src.reset()
+		}
+		if m.to == nil {
+			// Ejection at destination.
+			n.flitsEjected++
+			if f.IsTail {
+				pkt := n.packets[f.PacketID]
+				pkt.DeliveredAt = n.cycle + 1 // tail leaves at end of cycle
+				n.delivered = append(n.delivered, pkt)
+				delete(n.packets, f.PacketID)
+			}
+		} else {
+			m.to.in[m.toPort][m.toVC].push(f)
+			m.to.buffered++
+			n.flitsMoved++
+			n.linkFlits[m.from.at.Y*n.cfg.Width+m.from.at.X][m.outPort]++
+		}
+	}
+	n.cycle++
+}
+
+// allocateVC performs route computation and downstream VC allocation for
+// the packet occupying input VC (p, v) of router r, if needed.
+func (n *Network) allocateVC(r *router, p Port, v int) {
+	vc := &r.in[p][v]
+	if vc.empty() {
+		return
+	}
+	f := vc.front()
+	if !f.IsHead {
+		return // body flits inherit the established state
+	}
+	if vc.owner < 0 {
+		vc.owner = f.PacketID
+	}
+	if vc.outPort < 0 {
+		// Route computation: pick among allowed candidates the one whose
+		// downstream input port has the most free space.
+		cands := n.routeCandidates(r.at, f.Dst)
+		best := Port(-1)
+		bestFree := -1
+		for _, c := range cands {
+			if c == Local {
+				best = Local
+				break
+			}
+			down, downPort := n.neighbour(r, c)
+			if down == nil {
+				continue
+			}
+			free := n.freeSlots(down, downPort)
+			if free > bestFree {
+				bestFree = free
+				best = c
+			}
+		}
+		if best < 0 {
+			return // no viable candidate this cycle (should not happen)
+		}
+		vc.outPort = best
+	}
+	if vc.outVC < 0 && vc.outPort != Local {
+		// VC allocation: reserve a free downstream VC within the
+		// packet's dateline class.
+		down, downPort := n.neighbour(r, vc.outPort)
+		if down == nil {
+			return
+		}
+		lo, hi := 0, len(down.in[downPort])
+		if n.cfg.Topology == TopologyTorus {
+			lo, hi = vcRange(n.datelineClass(r, vc.outPort, f), hi)
+		}
+		for w := lo; w < hi; w++ {
+			if down.in[downPort][w].owner < 0 {
+				down.in[downPort][w].owner = f.PacketID
+				vc.outVC = w
+				break
+			}
+		}
+	}
+}
+
+// allocateSwitch picks one (input port, VC) to send a flit through output
+// port out of router r this cycle, staging the move.
+func (n *Network) allocateSwitch(r *router, out Port) {
+	downstream, downPort := n.neighbour(r, out)
+	if out != Local && downstream == nil {
+		return // edge of the mesh; legal routes never request it
+	}
+	total := 0
+	for p := Port(0); p < numPorts; p++ {
+		total += len(r.in[p])
+	}
+	// Flattened candidate index -> (port, vc).
+	lookup := func(idx int) (Port, int) {
+		for p := Port(0); p < numPorts; p++ {
+			if idx < len(r.in[p]) {
+				return p, idx
+			}
+			idx -= len(r.in[p])
+		}
+		return Local, 0
+	}
+	start := r.rr[out]
+	for k := 0; k < total; k++ {
+		idx := (start + k) % total
+		p, v := lookup(idx)
+		vc := &r.in[p][v]
+		if vc.empty() || vc.outPort != out {
+			continue
+		}
+		if out == Local {
+			n.moves = append(n.moves, move{
+				from: r, fromPort: p, fromVC: v, outPort: out, to: nil,
+			})
+			r.rr[out] = (idx + 1) % total
+			return
+		}
+		if vc.outVC < 0 {
+			continue // waiting for VC allocation
+		}
+		dst := &downstream.in[downPort][vc.outVC]
+		if dst.len()+n.incoming[dst] >= dst.cap {
+			continue // no credit
+		}
+		n.incoming[dst]++
+		n.moves = append(n.moves, move{
+			from: r, fromPort: p, fromVC: v, outPort: out,
+			to: downstream, toPort: downPort, toVC: vc.outVC,
+		})
+		r.rr[out] = (idx + 1) % total
+		return
+	}
+}
+
+// Run advances the network the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// RunUntilDrained steps until no packets remain in flight or maxCycles
+// elapse; it reports whether the network drained.
+func (n *Network) RunUntilDrained(maxCycles int64) bool {
+	for i := int64(0); i < maxCycles; i++ {
+		if len(n.packets) == 0 {
+			return true
+		}
+		n.Step()
+	}
+	return len(n.packets) == 0
+}
+
+// InFlight returns the number of undelivered packets.
+func (n *Network) InFlight() int { return len(n.packets) }
+
+// Delivered returns all delivered packets (shared slice; do not modify).
+func (n *Network) Delivered() []*Packet { return n.delivered }
+
+// Stats summarises delivered traffic.
+type Stats struct {
+	Delivered    int
+	MeanLatency  float64 // cycles
+	P95Latency   int64
+	MaxLatency   int64
+	MeanHops     float64
+	FlitsMoved   int64
+	FlitsEjected int64
+	// ThroughputFPC is accepted traffic in flits per cycle per node.
+	ThroughputFPC float64
+}
+
+// Summarise computes delivery statistics over the run so far.
+func (n *Network) Summarise() Stats {
+	var s Stats
+	s.FlitsMoved = n.flitsMoved
+	s.FlitsEjected = n.flitsEjected
+	if len(n.delivered) == 0 {
+		return s
+	}
+	lat := make([]int64, 0, len(n.delivered))
+	var latSum, hopSum int64
+	for _, p := range n.delivered {
+		l := p.Latency()
+		lat = append(lat, l)
+		latSum += l
+		hopSum += int64(n.cfg.Hops(p.Src, p.Dst))
+		if l > s.MaxLatency {
+			s.MaxLatency = l
+		}
+	}
+	s.Delivered = len(n.delivered)
+	s.MeanLatency = float64(latSum) / float64(s.Delivered)
+	s.MeanHops = float64(hopSum) / float64(s.Delivered)
+	// nth percentile without sorting the caller's data.
+	sorted := make([]int64, len(lat))
+	copy(sorted, lat)
+	insertionSort(sorted)
+	s.P95Latency = sorted[(len(sorted)*95)/100]
+	if n.cycle > 0 {
+		nodes := float64(n.cfg.Width * n.cfg.Height)
+		s.ThroughputFPC = float64(n.flitsEjected) / float64(n.cycle) / nodes
+	}
+	return s
+}
+
+func insertionSort(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// LinkLoad describes traffic over one unidirectional mesh link.
+type LinkLoad struct {
+	From  Coord
+	Dir   Port // East/West/North/South out of From
+	Flits int64
+	// Utilization is flits per cycle over the run so far, in [0,1].
+	Utilization float64
+}
+
+// LinkLoads returns the traffic of every mesh link (local ejection ports
+// excluded), ordered row-major by source router then by port.
+func (n *Network) LinkLoads() []LinkLoad {
+	var out []LinkLoad
+	for i, r := range n.routers {
+		for p := North; p < numPorts; p++ {
+			if down, _ := n.neighbour(r, p); down == nil {
+				continue // mesh edge
+			}
+			flits := n.linkFlits[i][p]
+			ll := LinkLoad{From: r.at, Dir: p, Flits: flits}
+			if n.cycle > 0 {
+				ll.Utilization = float64(flits) / float64(n.cycle)
+			}
+			out = append(out, ll)
+		}
+	}
+	return out
+}
+
+// HottestLink returns the most utilised link; ok is false before any
+// traffic has moved.
+func (n *Network) HottestLink() (LinkLoad, bool) {
+	loads := n.LinkLoads()
+	var best LinkLoad
+	found := false
+	for _, l := range loads {
+		if l.Flits > best.Flits {
+			best = l
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MeanLinkUtilization averages utilisation over all mesh links.
+func (n *Network) MeanLinkUtilization() float64 {
+	loads := n.LinkLoads()
+	if len(loads) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range loads {
+		sum += l.Utilization
+	}
+	return sum / float64(len(loads))
+}
+
+// AdvanceTo advances the router clock to the given absolute cycle,
+// fast-skipping spans where no packet is in flight (co-simulation with a
+// coarser-grained system clock).
+func (n *Network) AdvanceTo(cycle int64) {
+	for n.cycle < cycle {
+		if len(n.packets) == 0 {
+			n.cycle = cycle
+			return
+		}
+		n.Step()
+	}
+}
+
+// DeliveredSince returns packets delivered at or after index cursor in
+// delivery order, for incremental consumption; pass len of the previous
+// result plus the previous cursor as the next cursor.
+func (n *Network) DeliveredSince(cursor int) []*Packet {
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(n.delivered) {
+		return nil
+	}
+	return n.delivered[cursor:]
+}
+
+// routeTorusXY is dimension-ordered routing on the torus: each dimension
+// takes its shortest direction around the ring (ties break positive).
+func (n *Network) routeTorusXY(at, dst Coord) Port {
+	if at.X != dst.X {
+		fwd := (dst.X - at.X + n.cfg.Width) % n.cfg.Width // hops going east
+		if fwd <= n.cfg.Width-fwd {
+			return East
+		}
+		return West
+	}
+	if at.Y != dst.Y {
+		fwd := (dst.Y - at.Y + n.cfg.Height) % n.cfg.Height // hops going south
+		if fwd <= n.cfg.Height-fwd {
+			return South
+		}
+		return North
+	}
+	return Local
+}
+
+// datelineClass returns the VC class (0 or 1) a packet must use on the
+// channel entered through 'out' of router r, under the Dally-Seitz
+// dateline scheme: a packet starts each dimension in class 0 and switches
+// to class 1 once its path crosses the dimension's wraparound link, which
+// breaks the ring's cyclic channel dependency.
+func (n *Network) datelineClass(r *router, out Port, f *Flit) int {
+	if n.cfg.Topology != TopologyTorus {
+		return 0
+	}
+	switch out {
+	case East: // dateline between x = W-1 and x = 0
+		if r.at.X == n.cfg.Width-1 || wrappedEast(f.Src.X, r.at.X, f.Dst.X, n.cfg.Width) {
+			return 1
+		}
+	case West: // dateline between x = 0 and x = W-1
+		if r.at.X == 0 || wrappedWest(f.Src.X, r.at.X, f.Dst.X, n.cfg.Width) {
+			return 1
+		}
+	case South: // dateline between y = H-1 and y = 0
+		if r.at.Y == n.cfg.Height-1 || wrappedEast(f.Src.Y, r.at.Y, f.Dst.Y, n.cfg.Height) {
+			return 1
+		}
+	case North: // dateline between y = 0 and y = H-1
+		if r.at.Y == 0 || wrappedWest(f.Src.Y, r.at.Y, f.Dst.Y, n.cfg.Height) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// wrappedEast reports whether a minimal eastward (increasing, modular)
+// walk from src to cur has already crossed the size-1 -> 0 link.
+func wrappedEast(src, cur, dst, size int) bool {
+	walked := (cur - src + size) % size
+	return cur < src && walked > 0 && walked <= (dst-src+size)%size
+}
+
+// wrappedWest reports whether a minimal westward (decreasing, modular)
+// walk from src to cur has already crossed the 0 -> size-1 link.
+func wrappedWest(src, cur, dst, size int) bool {
+	walked := (src - cur + size) % size
+	return cur > src && walked > 0 && walked <= (src-dst+size)%size
+}
+
+// vcRange returns the half-open VC index range a packet of the given
+// dateline class may use at an input port with v VCs: class 0 gets the
+// lower half (plus the spare middle VC for odd counts), class 1 the upper.
+func vcRange(class, v int) (int, int) {
+	if class == 0 {
+		return 0, (v + 1) / 2
+	}
+	return (v + 1) / 2, v
+}

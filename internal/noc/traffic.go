@@ -1,0 +1,140 @@
+package noc
+
+import (
+	"fmt"
+
+	"potsim/internal/sim"
+)
+
+// Pattern selects a destination for traffic originating at src.
+type Pattern func(src Coord, cfg Config, rng *sim.Stream) Coord
+
+// Uniform sends to a uniformly random node other than the source.
+func Uniform(src Coord, cfg Config, rng *sim.Stream) Coord {
+	for {
+		d := Coord{X: rng.Intn(cfg.Width), Y: rng.Intn(cfg.Height)}
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Transpose sends (x,y) -> (y,x); nodes on the diagonal fall back to
+// uniform traffic. Meaningful for square meshes.
+func Transpose(src Coord, cfg Config, rng *sim.Stream) Coord {
+	d := Coord{X: src.Y, Y: src.X}
+	if d == src || d.X >= cfg.Width || d.Y >= cfg.Height {
+		return Uniform(src, cfg, rng)
+	}
+	return d
+}
+
+// Hotspot returns a pattern sending the given fraction of traffic to one
+// hot node and the rest uniformly.
+func Hotspot(hot Coord, fraction float64) Pattern {
+	return func(src Coord, cfg Config, rng *sim.Stream) Coord {
+		if src != hot && rng.Bernoulli(fraction) {
+			return hot
+		}
+		return Uniform(src, cfg, rng)
+	}
+}
+
+// BitComplement sends (x,y) -> (W-1-x, H-1-y); a node mapping to itself
+// (odd mesh centre) falls back to uniform.
+func BitComplement(src Coord, cfg Config, rng *sim.Stream) Coord {
+	d := Coord{X: cfg.Width - 1 - src.X, Y: cfg.Height - 1 - src.Y}
+	if d == src {
+		return Uniform(src, cfg, rng)
+	}
+	return d
+}
+
+// PatternByName resolves a pattern name used by the CLI tools.
+func PatternByName(name string, cfg Config) (Pattern, error) {
+	switch name {
+	case "uniform":
+		return Uniform, nil
+	case "transpose":
+		return Transpose, nil
+	case "bitcomp":
+		return BitComplement, nil
+	case "hotspot":
+		return Hotspot(Coord{X: cfg.Width / 2, Y: cfg.Height / 2}, 0.3), nil
+	default:
+		return nil, fmt.Errorf("noc: unknown traffic pattern %q", name)
+	}
+}
+
+// Generator drives synthetic traffic into a network: every cycle each
+// node injects a packet with probability rate/sizeFlits, so `rate` is the
+// offered load in flits per node per cycle.
+type Generator struct {
+	net       *Network
+	pattern   Pattern
+	rng       *sim.Stream
+	rateFPC   float64
+	sizeFlits int
+	offered   int64
+}
+
+// NewGenerator builds a traffic generator. rateFPC is flits per node per
+// cycle in [0,1]; sizeFlits is the fixed packet size.
+func NewGenerator(net *Network, pattern Pattern, rng *sim.Stream, rateFPC float64, sizeFlits int) (*Generator, error) {
+	if rateFPC < 0 || rateFPC > 1 {
+		return nil, fmt.Errorf("noc: rate %v outside [0,1]", rateFPC)
+	}
+	if sizeFlits < 1 {
+		return nil, fmt.Errorf("noc: packet size must be >= 1 flit")
+	}
+	if net == nil || pattern == nil || rng == nil {
+		return nil, fmt.Errorf("noc: generator needs network, pattern and rng")
+	}
+	return &Generator{net: net, pattern: pattern, rng: rng, rateFPC: rateFPC, sizeFlits: sizeFlits}, nil
+}
+
+// Offered returns the number of packets injected so far.
+func (g *Generator) Offered() int64 { return g.offered }
+
+// Tick injects this cycle's traffic; call once per network Step.
+func (g *Generator) Tick() error {
+	cfg := g.net.Config()
+	pInject := g.rateFPC / float64(g.sizeFlits)
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			if !g.rng.Bernoulli(pInject) {
+				continue
+			}
+			src := Coord{X: x, Y: y}
+			dst := g.pattern(src, cfg, g.rng)
+			if _, err := g.net.Inject(src, dst, g.sizeFlits); err != nil {
+				return err
+			}
+			g.offered++
+		}
+	}
+	return nil
+}
+
+// RunLoadPoint is the standalone-study helper: it drives a fresh network
+// at the given offered load for warmup+measure cycles and returns the
+// measured statistics.
+func RunLoadPoint(cfg Config, pattern Pattern, seed uint64, rateFPC float64, sizeFlits int, warmup, measure int64) (Stats, error) {
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	gen, err := NewGenerator(net, pattern, sim.NewRNG(seed).Stream("noc-traffic"), rateFPC, sizeFlits)
+	if err != nil {
+		return Stats{}, err
+	}
+	for i := int64(0); i < warmup+measure; i++ {
+		if err := gen.Tick(); err != nil {
+			return Stats{}, err
+		}
+		net.Step()
+	}
+	// Let in-flight packets drain (bounded) so latency stats are complete.
+	net.RunUntilDrained(measure)
+	return net.Summarise(), nil
+}

@@ -1,0 +1,56 @@
+package noc
+
+import (
+	"math"
+
+	"potsim/internal/sim"
+)
+
+// TxnModel is the analytic transaction-level latency model the manycore
+// system uses for long runs. Zero-load latency follows the standard
+// wormhole formula — one cycle per hop for the head plus one cycle per
+// flit of serialisation — and queueing contention is approximated with an
+// M/M/1-style stretch in network utilisation, calibrated against the
+// flit-level simulator (see TestTxnCalibration).
+type TxnModel struct {
+	cfg Config
+	// ContentionKnee is the utilisation at which latency has doubled.
+	ContentionKnee float64
+}
+
+// NewTxnModel builds a transaction model for a mesh configuration.
+func NewTxnModel(cfg Config) TxnModel {
+	return TxnModel{cfg: cfg, ContentionKnee: 0.55}
+}
+
+// ZeroLoadCycles returns the uncontended packet latency in router cycles
+// under the configured topology (torus wraparound shortens paths).
+func (m TxnModel) ZeroLoadCycles(src, dst Coord, sizeFlits int) int64 {
+	if sizeFlits < 1 {
+		sizeFlits = 1
+	}
+	return int64(m.cfg.Hops(src, dst) + sizeFlits)
+}
+
+// Cycles returns the estimated latency in cycles at the given network
+// utilisation in [0,1). Contention grows with path length: every extra
+// hop crosses more links other flows share, so scattered mappings pay a
+// real price under load (the congestion effect contiguous mapping papers
+// measure with flit-level simulation).
+func (m TxnModel) Cycles(src, dst Coord, sizeFlits int, utilization float64) int64 {
+	base := float64(m.ZeroLoadCycles(src, dst, sizeFlits))
+	u := math.Min(math.Max(utilization, 0), 0.95)
+	hops := float64(m.cfg.Hops(src, dst))
+	stretch := 1 + u*(1+hopContention*hops)/m.ContentionKnee/(1-u)
+	return int64(math.Ceil(base * stretch))
+}
+
+// hopContention scales how much each additional hop amplifies queueing
+// delay under load.
+const hopContention = 0.3
+
+// Latency converts Cycles to simulated time using the router clock.
+func (m TxnModel) Latency(src, dst Coord, sizeFlits int, utilization float64) sim.Time {
+	cycles := m.Cycles(src, dst, sizeFlits, utilization)
+	return sim.FromSeconds(float64(cycles) / m.cfg.ClockHz)
+}

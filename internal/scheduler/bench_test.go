@@ -1,0 +1,32 @@
+package scheduler
+
+import (
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+// BenchmarkPlan measures one scheduling epoch over a 64-core snapshot.
+func BenchmarkPlan(b *testing.B) {
+	p, err := NewPOTS(benchConfig(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores := make([]CoreSnapshot, 64)
+	for i := range cores {
+		cores[i] = CoreSnapshot{ID: i, Idle: i%2 == 0, TempK: 320,
+			Stress: float64(i) / 64, Util: float64(63-i) / 64}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := sim.Time(i+1) * 100 * sim.Microsecond
+		dec := p.Plan(now, cores, 5)
+		for _, d := range dec {
+			p.OnTestComplete(d.Core, d.Level, now)
+		}
+	}
+}
+
+func benchConfig(cores int) Config {
+	return testConfig(cores) // shared with scheduler_test.go
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Handler is a callback invoked when an event fires. The engine passes
+// itself so handlers can schedule follow-up events.
+type Handler func(e *Engine)
+
+// event is a scheduled callback. Events firing at the same instant are
+// ordered by sequence number (FIFO), which keeps runs deterministic.
+type event struct {
+	at      Time
+	seq     uint64
+	handler Handler
+	index   int // heap index; -1 once popped or cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; the manycore model drives it from a single goroutine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with its clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPast is returned when scheduling an event before the current time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// Schedule registers handler to fire at absolute time at. Events at the
+// same instant fire in scheduling order.
+func (e *Engine) Schedule(at Time, handler Handler) (EventID, error) {
+	if at < e.now {
+		return EventID{}, fmt.Errorf("%w: at=%v now=%v", ErrPast, at, e.now)
+	}
+	ev := &event{at: at, seq: e.seq, handler: handler}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}, nil
+}
+
+// After registers handler to fire delay after the current time.
+func (e *Engine) After(delay Time, handler Handler) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	id, _ := e.Schedule(e.now+delay, handler) // never in the past
+	return id
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.handler(e)
+	return true
+}
+
+// RunUntil executes events in timestamp order until the queue is empty,
+// Stop is called, or the next event lies beyond horizon. The clock is left
+// at the time of the last executed event, or advanced to horizon when it
+// drains early, so periodic controllers observe a full final interval.
+func (e *Engine) RunUntil(horizon Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		if e.queue[0].at > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon && !e.stopped {
+		e.now = horizon
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Every schedules handler periodically, first at start and then each
+// period, until the returned cancel function is invoked. The handler may
+// call the cancel function itself to end the series.
+func (e *Engine) Every(start, period Time, handler Handler) (cancel func()) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	stopped := false
+	var id EventID
+	var tick Handler
+	tick = func(en *Engine) {
+		if stopped {
+			return
+		}
+		handler(en)
+		if stopped {
+			return
+		}
+		id = en.After(period, tick)
+	}
+	var err error
+	id, err = e.Schedule(start, tick)
+	if err != nil {
+		id = e.After(0, tick)
+	}
+	return func() {
+		stopped = true
+		e.Cancel(id)
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(30*Microsecond, func(*Engine) { order = append(order, 3) })
+	e.After(10*Microsecond, func(*Engine) { order = append(order, 1) })
+	e.After(20*Microsecond, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %d, want %d", i, order[i], want[i])
+		}
+	}
+	if e.Now() != 30*Microsecond {
+		t.Errorf("Now() = %v, want 30us", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*Microsecond, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineSchedulePastRejected(t *testing.T) {
+	e := NewEngine()
+	e.After(10*Microsecond, func(*Engine) {})
+	e.Run()
+	if _, err := e.Schedule(5*Microsecond, func(*Engine) {}); err == nil {
+		t.Fatal("scheduling in the past succeeded, want error")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.After(10*Microsecond, func(*Engine) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel reported failure for a pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double Cancel reported success")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.After(10*Microsecond, func(*Engine) {})
+	e.After(500*Microsecond, func(*Engine) {})
+	e.RunUntil(100 * Microsecond)
+	if e.Now() != 100*Microsecond {
+		t.Errorf("Now() = %v, want 100us", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1 (event beyond horizon kept)", e.Pending())
+	}
+}
+
+func TestEngineStopInsideHandler(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.After(Microsecond, func(en *Engine) { count++; en.Stop() })
+	e.After(2*Microsecond, func(*Engine) { count++ })
+	e.Run()
+	if count != 1 {
+		t.Errorf("after Stop, fired %d events, want 1", count)
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var cancel func()
+	cancel = e.Every(0, 10*Microsecond, func(*Engine) {
+		ticks++
+		if ticks == 5 {
+			cancel()
+		}
+	})
+	e.RunUntil(Second)
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestEngineEveryAlignment(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	cancel := e.Every(5*Microsecond, 10*Microsecond, func(en *Engine) {
+		at = append(at, en.Now())
+	})
+	defer cancel()
+	e.RunUntil(36 * Microsecond)
+	want := []Time{5 * Microsecond, 15 * Microsecond, 25 * Microsecond, 35 * Microsecond}
+	if len(at) != len(want) {
+		t.Fatalf("got %d ticks %v, want %d", len(at), at, len(want))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, at[i], want[i])
+		}
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		var log []Time
+		rng := NewRNG(7).Stream("det")
+		var step Handler
+		step = func(en *Engine) {
+			log = append(log, en.Now())
+			if len(log) < 50 {
+				en.After(Time(rng.IntBetween(1, 1000))*Nanosecond, step)
+			}
+		}
+		e.After(0, step)
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of non-negative delays, events fire in
+// non-decreasing timestamp order and all of them fire.
+func TestEngineFiringOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var stamps []Time
+		for _, d := range delays {
+			e.After(Time(d)*Nanosecond, func(en *Engine) {
+				stamps = append(stamps, en.Now())
+			})
+		}
+		e.Run()
+		if len(stamps) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(stamps); i++ {
+			if stamps[i] < stamps[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{1500 * Nanosecond, "1.500us"},
+		{2500 * Microsecond, "2.500ms"},
+		{Second + 500*Millisecond, "1.500000s"},
+		{-500 * Nanosecond, "-500ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != Second+500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Errorf("Seconds() = %v, want 0.25", got)
+	}
+	if got := (3 * Microsecond).Micros(); got != 3 {
+		t.Errorf("Micros() = %v, want 3", got)
+	}
+}

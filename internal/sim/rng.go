@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// RNG is the root of the simulation's random-number streams. Each named
+// subsystem derives an independent deterministic stream from the root seed
+// so that, for example, adding one extra draw to the workload generator
+// does not perturb the fault injector.
+type RNG struct {
+	seed uint64
+}
+
+// NewRNG returns a stream factory rooted at seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{seed: seed}
+}
+
+// Seed returns the root seed.
+func (r *RNG) Seed() uint64 { return r.seed }
+
+// splitmix64 is the standard seed-expansion mix; it guarantees derived
+// streams are decorrelated even for adjacent seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream derives an independent deterministic stream for the given name.
+func (r *RNG) Stream(name string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	derived := splitmix64(r.seed ^ h.Sum64())
+	return &Stream{Rand: rand.New(rand.NewSource(int64(derived)))}
+}
+
+// Stream wraps math/rand with the distributions the simulator needs.
+type Stream struct {
+	*rand.Rand
+}
+
+// Exp draws an exponentially distributed value with the given mean.
+// A zero or negative mean yields zero, which callers use to disable a
+// stochastic process.
+func (s *Stream) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.ExpFloat64() * mean
+}
+
+// Uniform draws from [lo, hi). It tolerates lo >= hi by returning lo.
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.Float64()*(hi-lo)
+}
+
+// Normal draws a Gaussian with the given mean and standard deviation,
+// clamped to [mean-4sigma, mean+4sigma] to keep pathological tails out of
+// timing models.
+func (s *Stream) Normal(mean, sigma float64) float64 {
+	if sigma <= 0 {
+		return mean
+	}
+	v := mean + s.NormFloat64()*sigma
+	lo, hi := mean-4*sigma, mean+4*sigma
+	return math.Min(math.Max(v, lo), hi)
+}
+
+// Bernoulli reports true with probability p (clamped to [0,1]).
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// IntBetween draws an integer in [lo, hi] inclusive.
+func (s *Stream) IntBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Weibull draws from a Weibull distribution with the given scale (lambda)
+// and shape (k). Used by the aging model for wear-out lifetimes.
+func (s *Stream) Weibull(scale, shape float64) float64 {
+	if scale <= 0 || shape <= 0 {
+		return 0
+	}
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}

@@ -1,0 +1,25 @@
+package thermal
+
+import (
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+// BenchmarkAdvanceEpoch measures one 100us integration step of an 8x8 grid.
+func BenchmarkAdvanceEpoch(b *testing.B) {
+	g, err := NewGrid(DefaultConfig(8, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, g.Cores())
+	for i := range p {
+		p[i] = 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Advance(sim.Time(i+1)*100*sim.Microsecond, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

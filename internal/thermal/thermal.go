@@ -1,0 +1,171 @@
+// Package thermal implements a lumped RC thermal model of the manycore
+// die, in the spirit of HotSpot's block model: one thermal node per core,
+// a vertical resistance to ambient through the heat spreader, and lateral
+// resistances between mesh neighbours. Temperatures feed back into the
+// leakage model and the aging model.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"potsim/internal/sim"
+)
+
+// Config holds the RC parameters of the die model.
+type Config struct {
+	Width, Height int // mesh dimensions (cores)
+
+	AmbientK float64 // ambient/package temperature, kelvin
+
+	// RVertical is the thermal resistance from one core node to ambient,
+	// kelvin per watt. RLateral couples adjacent cores.
+	RVertical float64
+	RLateral  float64
+
+	// Capacitance is the thermal capacitance of one core node, J/K.
+	Capacitance float64
+
+	// MaxStepS bounds the integration step in seconds for stability;
+	// Advance subdivides longer intervals.
+	MaxStepS float64
+}
+
+// DefaultConfig returns parameters tuned for millimetre-scale cores:
+// a hot core dissipating ~0.7 W settles ~15 K above ambient with a time
+// constant around 100 ms.
+func DefaultConfig(width, height int) Config {
+	return Config{
+		Width: width, Height: height,
+		AmbientK:    318, // 45 C
+		RVertical:   25,
+		RLateral:    8,
+		Capacitance: 0.004,
+		MaxStepS:    0.002,
+	}
+}
+
+// Grid integrates core temperatures over simulated time.
+type Grid struct {
+	cfg     Config
+	tempK   []float64
+	scratch []float64
+	lastAt  sim.Time
+	peakK   float64
+}
+
+// NewGrid creates a grid with all cores at ambient temperature.
+func NewGrid(cfg Config) (*Grid, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("thermal: invalid grid %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.RVertical <= 0 || cfg.Capacitance <= 0 {
+		return nil, fmt.Errorf("thermal: RVertical and Capacitance must be positive")
+	}
+	if cfg.RLateral <= 0 {
+		return nil, fmt.Errorf("thermal: RLateral must be positive")
+	}
+	if cfg.MaxStepS <= 0 {
+		cfg.MaxStepS = 0.002
+	}
+	// Forward-Euler stability: dt < C / (1/Rv + 4/Rl). Clamp the step.
+	gmax := 1/cfg.RVertical + 4/cfg.RLateral
+	limit := 0.5 * cfg.Capacitance / gmax
+	if cfg.MaxStepS > limit {
+		cfg.MaxStepS = limit
+	}
+	n := cfg.Width * cfg.Height
+	g := &Grid{cfg: cfg, tempK: make([]float64, n), scratch: make([]float64, n), peakK: cfg.AmbientK}
+	for i := range g.tempK {
+		g.tempK[i] = cfg.AmbientK
+	}
+	return g, nil
+}
+
+// Cores returns the number of thermal nodes.
+func (g *Grid) Cores() int { return len(g.tempK) }
+
+// Temperature returns the current temperature of core id in kelvin.
+func (g *Grid) Temperature(id int) float64 { return g.tempK[id] }
+
+// MaxTemperature returns the hottest current core temperature.
+func (g *Grid) MaxTemperature() float64 {
+	max := g.tempK[0]
+	for _, t := range g.tempK[1:] {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// PeakEver returns the hottest temperature seen at any point of the run.
+func (g *Grid) PeakEver() float64 { return g.peakK }
+
+// MeanTemperature returns the average core temperature.
+func (g *Grid) MeanTemperature() float64 {
+	sum := 0.0
+	for _, t := range g.tempK {
+		sum += t
+	}
+	return sum / float64(len(g.tempK))
+}
+
+// Advance integrates the grid to time now given per-core power draws in
+// watts (len must equal Cores()), held constant over the interval.
+func (g *Grid) Advance(now sim.Time, powerW []float64) error {
+	if len(powerW) != len(g.tempK) {
+		return fmt.Errorf("thermal: power vector has %d entries, want %d", len(powerW), len(g.tempK))
+	}
+	total := (now - g.lastAt).Seconds()
+	if total < 0 {
+		return fmt.Errorf("thermal: time went backwards %v -> %v", g.lastAt, now)
+	}
+	g.lastAt = now
+	for total > 0 {
+		dt := math.Min(total, g.cfg.MaxStepS)
+		g.step(dt, powerW)
+		total -= dt
+	}
+	for _, t := range g.tempK {
+		if t > g.peakK {
+			g.peakK = t
+		}
+	}
+	return nil
+}
+
+// step performs one forward-Euler update of length dt seconds.
+func (g *Grid) step(dt float64, powerW []float64) {
+	w, h := g.cfg.Width, g.cfg.Height
+	gv := 1 / g.cfg.RVertical
+	gl := 1 / g.cfg.RLateral
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			t := g.tempK[i]
+			flow := powerW[i] - (t-g.cfg.AmbientK)*gv
+			if x > 0 {
+				flow += (g.tempK[i-1] - t) * gl
+			}
+			if x < w-1 {
+				flow += (g.tempK[i+1] - t) * gl
+			}
+			if y > 0 {
+				flow += (g.tempK[i-w] - t) * gl
+			}
+			if y < h-1 {
+				flow += (g.tempK[i+w] - t) * gl
+			}
+			g.scratch[i] = t + dt*flow/g.cfg.Capacitance
+		}
+	}
+	copy(g.tempK, g.scratch)
+}
+
+// SteadyStateUniform returns the analytic steady-state temperature when
+// every core dissipates the same power p: lateral flows cancel, so
+// T = ambient + p * RVertical. Used by tests as an oracle.
+func (g *Grid) SteadyStateUniform(p float64) float64 {
+	return g.cfg.AmbientK + p*g.cfg.RVertical
+}

@@ -1,0 +1,68 @@
+// Package viz renders mesh-shaped per-core quantities (stress, test
+// counts, utilization, temperatures) as compact ASCII heatmaps for the
+// CLI reports.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ramp maps normalised intensity to glyphs, coldest first.
+const ramp = " .:-=+*#%@"
+
+// Heatmap renders a width x height row-major value grid as an ASCII block
+// map normalised to the data range, with a legend giving the scale.
+func Heatmap(title string, width, height int, values []float64) (string, error) {
+	if width <= 0 || height <= 0 {
+		return "", fmt.Errorf("viz: invalid grid %dx%d", width, height)
+	}
+	if len(values) != width*height {
+		return "", fmt.Errorf("viz: got %d values for a %dx%d grid", len(values), width, height)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for y := 0; y < height; y++ {
+		b.WriteString("  ")
+		for x := 0; x < width; x++ {
+			b.WriteByte(glyph(values[y*width+x], lo, hi))
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  scale: '%c'=%.3g .. '%c'=%.3g\n",
+		ramp[0], lo, ramp[len(ramp)-1], hi)
+	return b.String(), nil
+}
+
+// glyph maps v in [lo,hi] to a ramp character.
+func glyph(v, lo, hi float64) byte {
+	if hi <= lo {
+		return ramp[len(ramp)/2]
+	}
+	idx := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	return ramp[idx]
+}
+
+// HeatmapInts is Heatmap for integer data.
+func HeatmapInts(title string, width, height int, values []int) (string, error) {
+	f := make([]float64, len(values))
+	for i, v := range values {
+		f[i] = float64(v)
+	}
+	return Heatmap(title, width, height, f)
+}

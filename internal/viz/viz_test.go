@@ -1,0 +1,101 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeatmapBasics(t *testing.T) {
+	out, err := Heatmap("demo", 3, 2, []float64{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 2 rows + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(lines[3], "scale:") {
+		t.Error("legend missing")
+	}
+	// Coldest cell renders the lowest ramp glyph, hottest the highest.
+	if lines[1][2] != ' ' {
+		t.Errorf("min cell glyph = %q, want space", lines[1][2])
+	}
+	if lines[2][6] != '@' {
+		t.Errorf("max cell glyph = %q, want '@'", lines[2][6])
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	if _, err := Heatmap("x", 0, 2, nil); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Heatmap("x", 2, 2, []float64{1}); err == nil {
+		t.Error("short value slice accepted")
+	}
+}
+
+func TestHeatmapUniformValues(t *testing.T) {
+	out, err := Heatmap("", 2, 2, []float64{7, 7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate range renders the mid glyph without dividing by zero.
+	if !strings.Contains(out, string(ramp[len(ramp)/2])) {
+		t.Errorf("uniform map missing mid glyph:\n%s", out)
+	}
+}
+
+func TestHeatmapInts(t *testing.T) {
+	out, err := HeatmapInts("ints", 2, 1, []int{0, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("max glyph missing")
+	}
+}
+
+// Property: output always has height+legend(+title) lines and every grid
+// glyph is from the ramp.
+func TestHeatmapShapeProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		w, h := 2, len(raw)/2
+		if w*h > len(raw) {
+			h--
+		}
+		if h < 1 {
+			return true
+		}
+		vals := make([]float64, w*h)
+		for i := range vals {
+			vals[i] = float64(raw[i])
+		}
+		out, err := Heatmap("t", w, h, vals)
+		if err != nil {
+			return false
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != h+2 {
+			return false
+		}
+		for _, row := range lines[1 : len(lines)-1] {
+			for i := 2; i < len(row); i += 2 {
+				if !strings.ContainsRune(ramp, rune(row[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+// FuzzRandomGraph checks the TGFF-style generator never emits an invalid
+// graph for any seed/size combination the config accepts.
+func FuzzRandomGraph(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(12), uint8(4))
+	f.Add(uint64(99), uint8(1), uint8(2), uint8(1))
+	f.Add(uint64(7), uint8(16), uint8(32), uint8(8))
+	f.Fuzz(func(t *testing.T, seed uint64, minT, maxT, width uint8) {
+		cfg := DefaultRandomConfig()
+		cfg.MinTasks = int(minT%32) + 1
+		cfg.MaxTasks = cfg.MinTasks + int(maxT%32)
+		cfg.MaxWidth = int(width%8) + 1
+		g, err := Random(cfg, 0, sim.NewRNG(seed).Stream("fuzz"))
+		if err != nil {
+			t.Fatalf("generator failed on valid config: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated invalid graph: %v", err)
+		}
+		if g.Size() < cfg.MinTasks || g.Size() > cfg.MaxTasks {
+			t.Fatalf("size %d outside [%d,%d]", g.Size(), cfg.MinTasks, cfg.MaxTasks)
+		}
+	})
+}

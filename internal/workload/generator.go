@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"fmt"
+
+	"potsim/internal/sim"
+)
+
+// RandomConfig drives the TGFF-style random DAG generator.
+type RandomConfig struct {
+	MinTasks, MaxTasks int
+	// MaxWidth bounds how many tasks share a layer (parallelism).
+	MaxWidth int
+	// EdgeProb is the probability of a dependency from a task to each
+	// candidate in the next layer.
+	EdgeProb float64
+	// Work range at the reference clock, in cycles.
+	MinWork, MaxWork int64
+	// DemandHz range for generated tasks.
+	MinDemandHz, MaxDemandHz float64
+	// Comm range in flits for generated edges.
+	MinFlits, MaxFlits int
+	// Iteration (frame) count range for the streaming execution model.
+	MinIterations, MaxIterations int
+}
+
+// DefaultRandomConfig sizes graphs between 4 and 12 tasks with work in
+// the 0.5-4 Mcycle range, matching the embedded library's scale.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		MinTasks: 4, MaxTasks: 12,
+		MaxWidth: 4, EdgeProb: 0.5,
+		MinWork: 500_000, MaxWork: 4_000_000,
+		MinDemandHz: 0.8e9, MaxDemandHz: 2.0e9,
+		MinFlits: 16, MaxFlits: 512,
+		MinIterations: 8, MaxIterations: 24,
+	}
+}
+
+// Validate checks the generator configuration.
+func (c RandomConfig) Validate() error {
+	if c.MinTasks < 1 || c.MaxTasks < c.MinTasks {
+		return fmt.Errorf("workload: bad task range [%d,%d]", c.MinTasks, c.MaxTasks)
+	}
+	if c.MaxWidth < 1 {
+		return fmt.Errorf("workload: MaxWidth must be >= 1")
+	}
+	if c.EdgeProb < 0 || c.EdgeProb > 1 {
+		return fmt.Errorf("workload: EdgeProb outside [0,1]")
+	}
+	if c.MinWork <= 0 || c.MaxWork < c.MinWork {
+		return fmt.Errorf("workload: bad work range")
+	}
+	if c.MinDemandHz <= 0 || c.MaxDemandHz < c.MinDemandHz {
+		return fmt.Errorf("workload: bad demand range")
+	}
+	if c.MinFlits < 1 || c.MaxFlits < c.MinFlits {
+		return fmt.Errorf("workload: bad flit range")
+	}
+	if c.MinIterations < 1 || c.MaxIterations < c.MinIterations {
+		return fmt.Errorf("workload: bad iteration range")
+	}
+	return nil
+}
+
+// Random generates a layered random DAG in the style of TGFF: tasks are
+// grouped into layers, and each task depends on at least one task of some
+// earlier layer so the graph is connected and acyclic by construction.
+func Random(cfg RandomConfig, seq int, rng *sim.Stream) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := rng.IntBetween(cfg.MinTasks, cfg.MaxTasks)
+	g := &Graph{
+		Name:       fmt.Sprintf("rand-%d-t%d", seq, n),
+		Iterations: rng.IntBetween(cfg.MinIterations, cfg.MaxIterations),
+	}
+	// Mixed-criticality blend: mostly best-effort, some soft-RT, a few
+	// hard-RT applications (the ICCD'14 dynamic workload profile).
+	switch r := rng.Float64(); {
+	case r < 0.2:
+		g.Class = HardRT
+	case r < 0.5:
+		g.Class = SoftRT
+	default:
+		g.Class = BestEffort
+	}
+
+	// Partition n tasks into layers of width 1..MaxWidth.
+	var layers [][]int
+	for placed := 0; placed < n; {
+		w := rng.IntBetween(1, cfg.MaxWidth)
+		if placed+w > n {
+			w = n - placed
+		}
+		layer := make([]int, 0, w)
+		for i := 0; i < w; i++ {
+			layer = append(layer, placed)
+			placed++
+		}
+		layers = append(layers, layer)
+	}
+
+	for li, layer := range layers {
+		for _, id := range layer {
+			t := Task{
+				ID:           id,
+				Name:         fmt.Sprintf("t%d", id),
+				WorkCycles:   int64(rng.IntBetween(int(cfg.MinWork), int(cfg.MaxWork))),
+				DemandHz:     rng.Uniform(cfg.MinDemandHz, cfg.MaxDemandHz),
+				Activity:     rng.Uniform(0.5, 0.95),
+				MemIntensity: rng.Uniform(0.05, 0.45),
+				CommFlits:    map[int]int{},
+			}
+			if li > 0 {
+				prev := layers[li-1]
+				for _, p := range prev {
+					if rng.Bernoulli(cfg.EdgeProb) {
+						t.Deps = append(t.Deps, p)
+					}
+				}
+				if len(t.Deps) == 0 {
+					// Guarantee connectivity to the previous layer.
+					t.Deps = append(t.Deps, prev[rng.Intn(len(prev))])
+				}
+			}
+			g.Tasks = append(g.Tasks, t)
+		}
+	}
+	// Communication volumes follow the dependency edges.
+	for i := range g.Tasks {
+		for _, d := range g.Tasks[i].Deps {
+			g.Tasks[d].CommFlits[i] = rng.IntBetween(cfg.MinFlits, cfg.MaxFlits)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid graph: %w", err)
+	}
+	return g, nil
+}
+
+// Mix describes the application blend arriving at runtime.
+type Mix struct {
+	// Embedded graphs are drawn with probability EmbeddedShare; random
+	// TGFF-style graphs fill the rest.
+	EmbeddedShare float64
+	Random        RandomConfig
+}
+
+// DefaultMix uses half embedded multimedia graphs, half random graphs.
+func DefaultMix() Mix {
+	return Mix{EmbeddedShare: 0.5, Random: DefaultRandomConfig()}
+}
+
+// Burstiness turns the Poisson arrival process into a two-phase MMPP:
+// bursts alternate with quiet spells, the dynamic-workload profile the
+// ICCD'14 power manager is stressed with.
+type Burstiness struct {
+	Enabled bool
+	// OnMean and OffMean are the mean durations of the burst and quiet
+	// phases (exponentially distributed).
+	OnMean, OffMean sim.Time
+	// QuietFactor multiplies the mean interarrival time during quiet
+	// phases (> 1 slows arrivals down).
+	QuietFactor float64
+}
+
+// DefaultBurstiness gives 20 ms bursts alternating with 30 ms quiet
+// spells at 8x sparser arrivals.
+func DefaultBurstiness() Burstiness {
+	return Burstiness{Enabled: true, OnMean: 20 * sim.Millisecond,
+		OffMean: 30 * sim.Millisecond, QuietFactor: 8}
+}
+
+// Validate checks the burst parameters.
+func (b Burstiness) Validate() error {
+	if !b.Enabled {
+		return nil
+	}
+	if b.OnMean <= 0 || b.OffMean <= 0 {
+		return fmt.Errorf("workload: burst phase means must be positive")
+	}
+	if b.QuietFactor < 1 {
+		return fmt.Errorf("workload: QuietFactor must be >= 1")
+	}
+	return nil
+}
+
+// Source produces the arrival stream: a Poisson process over a graph mix,
+// optionally modulated by a two-phase burst process.
+type Source struct {
+	mix      Mix
+	embedded []*Graph
+	rng      *sim.Stream
+	meanIAT  sim.Time
+	seq      int
+	nextAt   sim.Time
+
+	burst      Burstiness
+	inBurst    bool
+	phaseEndAt sim.Time
+}
+
+// NewSource builds an arrival source with the given mean inter-arrival
+// time. Arrivals are Poisson (exponential gaps), the standard dynamic-
+// workload model of this paper family.
+func NewSource(mix Mix, meanInterarrival sim.Time, rng *sim.Stream) (*Source, error) {
+	if meanInterarrival <= 0 {
+		return nil, fmt.Errorf("workload: mean interarrival must be positive")
+	}
+	if err := mix.Random.Validate(); err != nil {
+		return nil, err
+	}
+	if mix.EmbeddedShare < 0 || mix.EmbeddedShare > 1 {
+		return nil, fmt.Errorf("workload: EmbeddedShare outside [0,1]")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	s := &Source{mix: mix, embedded: Library(), rng: rng, meanIAT: meanInterarrival, inBurst: true}
+	s.scheduleNext(0)
+	return s, nil
+}
+
+// NewBurstySource builds an arrival source whose rate alternates between
+// burst and quiet phases.
+func NewBurstySource(mix Mix, meanInterarrival sim.Time, burst Burstiness, rng *sim.Stream) (*Source, error) {
+	if err := burst.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewSource(mix, meanInterarrival, rng)
+	if err != nil {
+		return nil, err
+	}
+	s.burst = burst
+	if burst.Enabled {
+		s.phaseEndAt = sim.FromSeconds(rng.Exp(burst.OnMean.Seconds()))
+		// Redraw the first gap under the burst-aware rate.
+		s.nextAt = 0
+		s.scheduleNext(0)
+	}
+	return s, nil
+}
+
+func (s *Source) scheduleNext(now sim.Time) {
+	mean := s.meanIAT
+	if s.burst.Enabled {
+		// Advance the phase process to 'now'.
+		for now >= s.phaseEndAt {
+			s.inBurst = !s.inBurst
+			d := s.burst.OnMean
+			if !s.inBurst {
+				d = s.burst.OffMean
+			}
+			gap := sim.FromSeconds(s.rng.Exp(d.Seconds()))
+			if gap <= 0 {
+				gap = sim.Microsecond
+			}
+			s.phaseEndAt += gap
+		}
+		if !s.inBurst {
+			mean = sim.Time(float64(mean) * s.burst.QuietFactor)
+		}
+	}
+	gap := sim.FromSeconds(s.rng.Exp(mean.Seconds()))
+	if gap <= 0 {
+		gap = sim.Microsecond
+	}
+	s.nextAt = now + gap
+}
+
+// PeekNext returns the time of the next arrival.
+func (s *Source) PeekNext() sim.Time { return s.nextAt }
+
+// Next produces the arrival due at PeekNext and schedules the following
+// one. The caller is responsible for invoking it at the right time.
+func (s *Source) Next() (Arrival, error) {
+	at := s.nextAt
+	var g *Graph
+	if s.rng.Bernoulli(s.mix.EmbeddedShare) {
+		src := s.embedded[s.rng.Intn(len(s.embedded))]
+		g = src // graphs are immutable templates; instances share them
+	} else {
+		var err error
+		g, err = Random(s.mix.Random, s.seq, s.rng)
+		if err != nil {
+			return Arrival{}, err
+		}
+	}
+	a := Arrival{Seq: s.seq, Graph: g, At: at}
+	s.seq++
+	s.scheduleNext(at)
+	return a, nil
+}

@@ -1,0 +1,177 @@
+package workload
+
+import "strings"
+
+// The classic embedded multimedia task graphs used throughout the NoC
+// mapping literature (and by this paper family's evaluations). Structures
+// follow the published graphs; work cycles and communication volumes are
+// scaled to the simulator's reference core (2 GHz): task work is in the
+// hundreds of microseconds to low milliseconds.
+
+const mega = 1_000_000
+
+// VOPD returns the Video Object Plane Decoder graph (16 tasks).
+func VOPD() *Graph {
+	g := &Graph{Name: "vopd", Iterations: 12, Class: HardRT}
+	add := func(name string, work int64, deps []int, comm map[int]int) {
+		g.Tasks = append(g.Tasks, Task{
+			ID: len(g.Tasks), Name: name, WorkCycles: work,
+			DemandHz: 1.4e9, Activity: 0.75,
+			MemIntensity: memIntensityFor(name),
+			Deps:         deps, CommFlits: comm,
+		})
+	}
+	add("vld", 2*mega, nil, map[int]int{1: 70})              // 0
+	add("run-le-dec", 1*mega, []int{0}, map[int]int{2: 362}) // 1
+	add("inv-scan", 1*mega, []int{1}, map[int]int{3: 362})   // 2
+	add("ac-dc-pred", 2*mega, []int{2}, map[int]int{4: 362}) // 3
+	add("iquant", 1*mega, []int{3}, map[int]int{5: 357})     // 4
+	add("idct", 3*mega, []int{4}, map[int]int{6: 353})       // 5
+	add("up-samp", 2*mega, []int{5}, map[int]int{7: 300})    // 6
+	add("vop-rec", 2*mega, []int{6}, map[int]int{8: 313})    // 7
+	add("padding", 1*mega, []int{7}, map[int]int{9: 313})    // 8
+	add("vop-mem", 1*mega, []int{8}, map[int]int{10: 94})    // 9
+	add("stripe-mem", 1*mega, []int{3}, map[int]int{4: 49})  // 10
+	add("mem-ctrl", 1*mega, []int{9}, map[int]int{11: 500})  // 11: display feed
+	add("display-ctl", 1*mega, []int{11}, nil)               // 12 (sink via 11)
+	add("arm-ctrl", 1*mega, []int{0}, map[int]int{13: 16})   // 13 path
+	add("idct-helper", 2*mega, []int{5}, map[int]int{7: 16}) // 14
+	add("pad-helper", 1*mega, []int{8}, map[int]int{9: 16})  // 15
+	return g
+}
+
+// MPEG4 returns the MPEG-4 decoder graph (12 tasks).
+func MPEG4() *Graph {
+	g := &Graph{Name: "mpeg4", Iterations: 12, Class: SoftRT}
+	add := func(name string, work int64, deps []int, comm map[int]int) {
+		g.Tasks = append(g.Tasks, Task{
+			ID: len(g.Tasks), Name: name, WorkCycles: work,
+			DemandHz: 1.6e9, Activity: 0.8,
+			MemIntensity: memIntensityFor(name),
+			Deps:         deps, CommFlits: comm,
+		})
+	}
+	add("vu", 2*mega, nil, map[int]int{1: 190, 2: 0})        // 0
+	add("au", 1*mega, []int{0}, map[int]int{3: 60})          // 1
+	add("med-cpu", 3*mega, []int{0}, map[int]int{3: 600})    // 2
+	add("sdram", 1*mega, []int{1, 2}, map[int]int{4: 910})   // 3
+	add("sram1", 1*mega, []int{3}, map[int]int{5: 250})      // 4
+	add("sram2", 1*mega, []int{3}, map[int]int{6: 670})      // 5
+	add("rast", 2*mega, []int{4}, map[int]int{7: 500})       // 6
+	add("idct-etc", 3*mega, []int{5, 6}, map[int]int{8: 32}) // 7
+	add("up-samp", 2*mega, []int{7}, map[int]int{9: 300})    // 8
+	add("bab", 1*mega, []int{8}, map[int]int{10: 94})        // 9
+	add("risc", 2*mega, []int{9}, map[int]int{11: 500})      // 10
+	add("display", 1*mega, []int{10}, nil)                   // 11
+	return g
+}
+
+// MWD returns the Multi-Window Display graph (12 tasks).
+func MWD() *Graph {
+	g := &Graph{Name: "mwd", Iterations: 12, Class: SoftRT}
+	add := func(name string, work int64, deps []int, comm map[int]int) {
+		g.Tasks = append(g.Tasks, Task{
+			ID: len(g.Tasks), Name: name, WorkCycles: work,
+			DemandHz: 1.2e9, Activity: 0.7,
+			MemIntensity: memIntensityFor(name),
+			Deps:         deps, CommFlits: comm,
+		})
+	}
+	add("in", 1*mega, nil, map[int]int{1: 64, 2: 64})  // 0
+	add("nr", 2*mega, []int{0}, map[int]int{3: 64})    // 1
+	add("mem1", 1*mega, []int{0}, map[int]int{3: 96})  // 2
+	add("vs", 2*mega, []int{1, 2}, map[int]int{4: 96}) // 3
+	add("hs", 2*mega, []int{3}, map[int]int{5: 96})    // 4
+	add("mem2", 1*mega, []int{4}, map[int]int{6: 96})  // 5
+	add("hvs", 2*mega, []int{5}, map[int]int{7: 96})   // 6
+	add("jug1", 2*mega, []int{6}, map[int]int{8: 96})  // 7
+	add("mem3", 1*mega, []int{7}, map[int]int{9: 96})  // 8
+	add("jug2", 2*mega, []int{8}, map[int]int{10: 96}) // 9
+	add("se", 1*mega, []int{9}, map[int]int{11: 64})   // 10
+	add("blend", 2*mega, []int{10}, nil)               // 11
+	return g
+}
+
+// PIP returns the Picture-In-Picture graph (8 tasks).
+func PIP() *Graph {
+	g := &Graph{Name: "pip", Iterations: 12, Class: BestEffort}
+	add := func(name string, work int64, deps []int, comm map[int]int) {
+		g.Tasks = append(g.Tasks, Task{
+			ID: len(g.Tasks), Name: name, WorkCycles: work,
+			DemandHz: 1.0e9, Activity: 0.65,
+			MemIntensity: memIntensityFor(name),
+			Deps:         deps, CommFlits: comm,
+		})
+	}
+	add("inp-mem-a", 1*mega, nil, map[int]int{2: 128})  // 0
+	add("inp-mem-b", 1*mega, nil, map[int]int{3: 64})   // 1
+	add("hs", 2*mega, []int{0}, map[int]int{4: 64})     // 2
+	add("vs", 2*mega, []int{1}, map[int]int{4: 64})     // 3
+	add("jug", 2*mega, []int{2, 3}, map[int]int{5: 64}) // 4
+	add("mem", 1*mega, []int{4}, map[int]int{6: 64})    // 5
+	add("hvs", 2*mega, []int{5}, map[int]int{7: 128})   // 6
+	add("op-disp", 1*mega, []int{6}, nil)               // 7
+	return g
+}
+
+// memIntensityFor assigns memory-stall fractions by functional role:
+// memory/DMA-style stages are bandwidth hungry, compute stages are not.
+func memIntensityFor(name string) float64 {
+	switch {
+	case strings.Contains(name, "mem") || strings.Contains(name, "sram") ||
+		strings.Contains(name, "sdram") || strings.Contains(name, "lsu"):
+		return 0.40
+	case strings.Contains(name, "vld") || strings.Contains(name, "vu") ||
+		strings.Contains(name, "in") || strings.Contains(name, "disp"):
+		return 0.20
+	default:
+		return 0.10
+	}
+}
+
+// H263Enc returns the H.263 encoder graph (8 tasks).
+func H263Enc() *Graph {
+	g := &Graph{Name: "263enc", Iterations: 12, Class: SoftRT}
+	add := func(name string, work int64, deps []int, comm map[int]int) {
+		g.Tasks = append(g.Tasks, Task{
+			ID: len(g.Tasks), Name: name, WorkCycles: work,
+			DemandHz: 1.5e9, Activity: 0.8,
+			MemIntensity: memIntensityFor(name),
+			Deps:         deps, CommFlits: comm,
+		})
+	}
+	add("in-mem", 1*mega, nil, map[int]int{1: 304})      // 0
+	add("dct", 3*mega, []int{0}, map[int]int{2: 253})    // 1
+	add("quant", 1*mega, []int{1}, map[int]int{3: 253})  // 2
+	add("vlc-enc", 2*mega, []int{2}, map[int]int{4: 49}) // 3
+	add("iquant", 1*mega, []int{2}, map[int]int{5: 253}) // 4: recon path
+	add("idct", 3*mega, []int{4}, map[int]int{6: 253})   // 5
+	add("mot-est", 4*mega, []int{5}, map[int]int{7: 16}) // 6
+	add("out-mem", 1*mega, []int{3, 6}, nil)             // 7
+	return g
+}
+
+// H263Dec returns the H.263 decoder graph (6 tasks).
+func H263Dec() *Graph {
+	g := &Graph{Name: "263dec", Iterations: 12, Class: BestEffort}
+	add := func(name string, work int64, deps []int, comm map[int]int) {
+		g.Tasks = append(g.Tasks, Task{
+			ID: len(g.Tasks), Name: name, WorkCycles: work,
+			DemandHz: 1.1e9, Activity: 0.7,
+			MemIntensity: memIntensityFor(name),
+			Deps:         deps, CommFlits: comm,
+		})
+	}
+	add("vld", 2*mega, nil, map[int]int{1: 70})             // 0
+	add("iquant", 1*mega, []int{0}, map[int]int{2: 362})    // 1
+	add("idct", 3*mega, []int{1}, map[int]int{3: 362})      // 2
+	add("mot-comp", 2*mega, []int{2}, map[int]int{4: 49})   // 3
+	add("frame-mem", 1*mega, []int{3}, map[int]int{5: 300}) // 4
+	add("display", 1*mega, []int{4}, nil)                   // 5
+	return g
+}
+
+// Library returns the embedded graph set.
+func Library() []*Graph {
+	return []*Graph{VOPD(), MPEG4(), MWD(), PIP(), H263Enc(), H263Dec()}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"potsim/internal/sim"
+)
+
+// TraceEntry is one recorded application arrival, serialisable as a JSON
+// line. Traces make runs reproducible across machines and let external
+// tools inject their own workloads.
+type TraceEntry struct {
+	AtNs  int64  `json:"at_ns"`
+	Graph *Graph `json:"graph"`
+}
+
+// WriteTrace streams entries as JSON lines.
+func WriteTrace(w io.Writer, entries []TraceEntry) error {
+	enc := json.NewEncoder(w)
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a JSONL trace, validating every graph and the
+// monotonicity of timestamps.
+func ReadTrace(r io.Reader) ([]TraceEntry, error) {
+	var out []TraceEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	lastAt := int64(-1)
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e TraceEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if e.Graph == nil {
+			return nil, fmt.Errorf("workload: trace line %d: missing graph", line)
+		}
+		if err := e.Graph.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if e.AtNs < 0 || e.AtNs < lastAt {
+			return nil, fmt.Errorf("workload: trace line %d: timestamps must be non-negative and non-decreasing", line)
+		}
+		lastAt = e.AtNs
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replay feeds a recorded trace back as an arrival stream; it satisfies
+// the same PeekNext/Next contract as Source.
+type Replay struct {
+	entries []TraceEntry
+	pos     int
+}
+
+// NewReplay builds a replay source over validated entries.
+func NewReplay(entries []TraceEntry) *Replay {
+	return &Replay{entries: entries}
+}
+
+// PeekNext returns the time of the next arrival; after the trace is
+// exhausted it returns a time beyond any practical horizon.
+func (r *Replay) PeekNext() sim.Time {
+	if r.pos >= len(r.entries) {
+		return sim.Time(1<<62 - 1)
+	}
+	return sim.Time(r.entries[r.pos].AtNs)
+}
+
+// Next returns the arrival due at PeekNext.
+func (r *Replay) Next() (Arrival, error) {
+	if r.pos >= len(r.entries) {
+		return Arrival{}, fmt.Errorf("workload: replay exhausted")
+	}
+	e := r.entries[r.pos]
+	a := Arrival{Seq: r.pos, Graph: e.Graph, At: sim.Time(e.AtNs)}
+	r.pos++
+	return a, nil
+}
+
+// Remaining reports how many arrivals are left.
+func (r *Replay) Remaining() int { return len(r.entries) - r.pos }
+
+// Capture decorates an arrival stream, recording everything that passes
+// through so it can be written with WriteTrace.
+type Capture struct {
+	inner interface {
+		PeekNext() sim.Time
+		Next() (Arrival, error)
+	}
+	entries []TraceEntry
+}
+
+// NewCapture wraps an arrival source.
+func NewCapture(inner interface {
+	PeekNext() sim.Time
+	Next() (Arrival, error)
+}) *Capture {
+	return &Capture{inner: inner}
+}
+
+// PeekNext implements the arrival-stream contract.
+func (c *Capture) PeekNext() sim.Time { return c.inner.PeekNext() }
+
+// Next implements the arrival-stream contract, recording the arrival.
+func (c *Capture) Next() (Arrival, error) {
+	a, err := c.inner.Next()
+	if err != nil {
+		return a, err
+	}
+	c.entries = append(c.entries, TraceEntry{AtNs: int64(a.At), Graph: a.Graph})
+	return a, nil
+}
+
+// Entries returns the recorded trace so far.
+func (c *Capture) Entries() []TraceEntry { return c.entries }
