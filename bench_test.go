@@ -6,8 +6,12 @@ package potsim
 // Additional micro-benchmarks cover the hot paths of the substrates.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
+	"potsim/internal/batch"
 	"potsim/internal/core"
 	"potsim/internal/expt"
 	"potsim/internal/noc"
@@ -112,3 +116,41 @@ func BenchmarkE16IntervalModel(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17MemoryBottleneck(b *testing.B) { benchExperiment(b, "E17") }
 
 func BenchmarkE18Segmentation(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkBatchRunner measures the intra-experiment worker pool on a
+// real cell sweep (E5's five mappers in quick mode): workers=1 is the
+// sequential baseline, workers=NumCPU the fan-out. The ratio of the two
+// is the wall-clock speedup the -workers flag buys; the outputs are
+// asserted identical elsewhere (expt.TestE1GoldenAcrossWorkerCounts).
+func BenchmarkBatchRunner(b *testing.B) {
+	counts := []int{1, runtime.NumCPU()}
+	if counts[1] == 1 {
+		counts = counts[:1] // single-CPU machine: nothing to compare
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runner := &expt.Runner{Quick: true, Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run("E5"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchMapOverhead isolates the pool's per-cell scheduling
+// cost with trivial cells (no simulation), so regressions in the batch
+// machinery itself are visible.
+func BenchmarkBatchMapOverhead(b *testing.B) {
+	ctx := context.Background()
+	opts := batch.Options{Workers: runtime.NumCPU()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batch.Map(ctx, opts, 256,
+			func(_ context.Context, j int) (int, error) { return j, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(256*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}

@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper-reproduction experiments
-// (E1..E10, see DESIGN.md and EXPERIMENTS.md).
+// (E1..E18, see DESIGN.md and EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -7,9 +7,17 @@
 //	experiments -e E1 -e E9     # run a subset
 //	experiments -quick -all     # fast smoke versions
 //	experiments -all -csv dir/  # also dump each table as CSV
+//	experiments -all -workers 8 # bound intra-experiment parallelism
+//
+// Two levels of parallelism compose: -parallel runs whole experiments
+// concurrently, -workers fans each experiment's independent simulation
+// cells (config x policy x seed) across a worker pool. Tables are
+// reproducible: the same seed yields the same numbers whatever the
+// worker count, and results always print in request order.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,9 +51,11 @@ func run(args []string) error {
 	fs.Var(&ids, "e", "experiment id (repeatable), e.g. -e E1 -e E4")
 	all := fs.Bool("all", false, "run every experiment")
 	parallel := fs.Int("parallel", 1, "experiments to run concurrently (results still print in order)")
+	workers := fs.Int("workers", 0, "simulation cells per experiment to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	quick := fs.Bool("quick", false, "short horizons and single seed")
 	seed := fs.Uint64("seed", 0, "base seed offset for replication")
 	csvDir := fs.String("csv", "", "directory to write per-experiment CSV tables into")
+	progress := fs.Bool("progress", false, "log per-cell completion to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,9 +65,25 @@ func run(args []string) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("nothing to run: pass -all or -e <id> (have %v)", expt.IDs())
 	}
-	runner := &expt.Runner{Quick: *quick, BaseSeed: *seed}
 	if *parallel < 1 {
 		*parallel = 1
+	}
+	if *workers < 0 {
+		*workers = 0
+	}
+
+	// cells tracks each experiment's batch size as reported by the
+	// runner's progress callback (experiments run concurrently).
+	var mu sync.Mutex
+	cells := map[string]int{}
+	runner := &expt.Runner{Quick: *quick, BaseSeed: *seed, Workers: *workers}
+	runner.Progress = func(id string, done, total int) {
+		mu.Lock()
+		cells[id] = total
+		mu.Unlock()
+		if *progress {
+			fmt.Fprintf(os.Stderr, "[%s cell %d/%d]\n", id, done, total)
+		}
 	}
 
 	type outcome struct {
@@ -66,12 +92,14 @@ func run(args []string) error {
 		elapsed time.Duration
 	}
 	outcomes := make([]outcome, len(ids))
+	ready := make([]chan struct{}, len(ids))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
 	sem := make(chan struct{}, *parallel)
-	var wg sync.WaitGroup
 	for i, id := range ids {
-		wg.Add(1)
 		go func(i int, id string) {
-			defer wg.Done()
+			defer close(ready[i])
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
@@ -79,24 +107,37 @@ func run(args []string) error {
 			outcomes[i] = outcome{res: res, err: err, elapsed: time.Since(start)}
 		}(i, id)
 	}
-	wg.Wait()
 
+	// Stream results in request order as they become ready; a failed
+	// experiment is reported but does not discard its siblings.
+	var errs []error
 	for i, id := range ids {
+		<-ready[i]
 		o := outcomes[i]
 		if o.err != nil {
-			return fmt.Errorf("%s: %w", id, o.err)
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, o.err)
+			errs = append(errs, fmt.Errorf("%s: %w", id, o.err))
+			continue
 		}
 		fmt.Println(o.res.Render())
-		fmt.Printf("[%s finished in %v]\n\n", o.res.ID, o.elapsed.Round(time.Millisecond))
+		mu.Lock()
+		n := cells[o.res.ID]
+		mu.Unlock()
+		fmt.Printf("[%s finished in %v, %d cells]\n\n",
+			o.res.ID, o.elapsed.Round(time.Millisecond), n)
 		if *csvDir != "" && o.res.Table != nil {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				return err
-			}
-			path := filepath.Join(*csvDir, strings.ToLower(o.res.ID)+".csv")
-			if err := os.WriteFile(path, []byte(o.res.Table.CSV()), 0o644); err != nil {
-				return err
+			if err := writeCSV(*csvDir, o.res); err != nil {
+				errs = append(errs, err)
 			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+func writeCSV(dir string, res *expt.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, strings.ToLower(res.ID)+".csv")
+	return os.WriteFile(path, []byte(res.Table.CSV()), 0o644)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -29,8 +30,59 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunReportsAllFailures: every failing experiment must appear in
+// the aggregated error, not just the first, and a failure must not
+// abort a later healthy experiment.
+func TestRunReportsAllFailures(t *testing.T) {
+	err := run([]string{"-quick", "-e", "E98", "-e", "E4", "-e", "E99"})
+	if err == nil {
+		t.Fatal("bad ids accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"E98", "E99"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregated error missing %s: %v", want, err)
+		}
+	}
+	if strings.Contains(msg, "E4:") {
+		t.Errorf("healthy experiment reported as failed: %v", err)
+	}
+}
+
 func TestRunParallel(t *testing.T) {
 	if err := run([]string{"-quick", "-parallel", "3", "-e", "E4", "-e", "E2", "-e", "E12"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunFlagClamping: out-of-range -parallel and -workers values are
+// clamped rather than rejected or deadlocked on.
+func TestRunFlagClamping(t *testing.T) {
+	if err := run([]string{"-quick", "-parallel", "-3", "-workers", "-7", "-e", "E4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkersFlag(t *testing.T) {
+	for _, w := range []string{"1", "8"} {
+		if err := run([]string{"-quick", "-workers", w, "-progress", "-e", "E2"}); err != nil {
+			t.Fatalf("-workers %s: %v", w, err)
+		}
+	}
+}
+
+func TestRunCSVPerExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-e", "E4", "-e", "E12", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"e4.csv", "e12.csv"} {
+		blob, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("CSV not written: %v", err)
+		}
+		if len(blob) == 0 {
+			t.Errorf("empty CSV %s", name)
+		}
 	}
 }

@@ -1,0 +1,164 @@
+// Package batch is a generic parallel executor for independent
+// simulation cells. An experiment enumerates its (config x policy x
+// seed) cells up front and submits them as indexed work items; the pool
+// runs them on a bounded set of workers and writes each result into the
+// slot of its cell index, so collection order — and therefore every
+// downstream floating-point aggregation — is identical to a sequential
+// run regardless of worker count or completion schedule.
+//
+// Guarantees:
+//
+//   - Ordered results: Map returns results[i] = fn(i) for every i, in
+//     index order, whatever order the cells actually finished in.
+//   - Error aggregation: every failing cell is reported (errors.Join),
+//     not just the first; each failure is wrapped in a *CellError
+//     carrying its index.
+//   - Panic containment: a panicking cell does not kill the process; the
+//     panic is recovered and surfaced as that cell's error (wrapped in
+//     *PanicError with the stack).
+//   - Cooperative cancellation: cancelling the context stops the
+//     dispatch of not-yet-started cells; in-flight cells run to
+//     completion and their results are kept.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Options configure one batch execution.
+type Options struct {
+	// Workers bounds the number of concurrently running cells.
+	// Values <= 0 mean runtime.GOMAXPROCS(0).
+	Workers int
+
+	// OnCellDone, when non-nil, is called after each cell finishes
+	// (successfully or not) with the number of cells completed so far
+	// and the batch size. Calls are serialised by the pool, but their
+	// order follows completion, not cell index.
+	OnCellDone func(done, total int)
+}
+
+// workers resolves the effective pool size for n cells.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CellError is the failure of one cell, tagged with its index.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %d: %v", e.Index, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// PanicError is a recovered cell panic, preserved with its stack so the
+// failure is debuggable after aggregation.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a worker pool and returns
+// the n results in index order. All cell errors are aggregated; a nil
+// error means every cell ran and succeeded. On context cancellation the
+// returned error includes ctx.Err() and the results of cells that never
+// started are left as zero values.
+func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Context, index int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n <= 0 {
+		return results, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	cellErrs := make([]error, n)
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+
+	var mu sync.Mutex
+	done := 0
+	cellDone := func() {
+		if opts.OnCellDone == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		d := done
+		mu.Unlock()
+		opts.OnCellDone(d, n)
+	}
+
+	for w := 0; w < opts.workers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				results[i], cellErrs[i] = runCell(ctx, i, fn)
+				cellDone()
+			}
+		}()
+	}
+
+	// Dispatch cell indexes until done or cancelled. Workers own their
+	// in-flight cell; cancellation only stops handing out new ones.
+	dispatched := n
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case indexes <- i:
+		case <-ctx.Done():
+			dispatched = i
+			break feed
+		}
+	}
+	close(indexes)
+	wg.Wait()
+
+	errs := make([]error, 0, n-dispatched+1)
+	for i, err := range cellErrs {
+		if err != nil {
+			errs = append(errs, &CellError{Index: i, Err: err})
+		}
+	}
+	if dispatched < n {
+		errs = append(errs, fmt.Errorf(
+			"batch: cancelled with %d of %d cells not started: %w",
+			n-dispatched, n, context.Cause(ctx)))
+	}
+	return results, errors.Join(errs...)
+}
+
+// runCell executes one cell with panic containment.
+func runCell[T any](ctx context.Context, i int, fn func(context.Context, int) (T, error)) (result T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Value: v, Stack: buf}
+		}
+	}()
+	return fn(ctx, i)
+}

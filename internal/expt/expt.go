@@ -8,11 +8,13 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
+	"potsim/internal/batch"
 	"potsim/internal/core"
 	"potsim/internal/dvfs"
 	"potsim/internal/metrics"
@@ -45,12 +47,57 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Runner executes experiments.
+// Runner executes experiments. Each experiment enumerates its
+// independent (config x policy x seed) simulation cells up front and
+// runs them on a worker pool (internal/batch); results are collected in
+// cell order, so every aggregate — and hence every rendered table — is
+// bit-identical to a sequential run whatever the worker count.
 type Runner struct {
 	// Quick shrinks horizons and seed counts for smoke/bench runs.
 	Quick bool
 	// BaseSeed offsets all run seeds (replication support).
 	BaseSeed uint64
+	// Workers bounds intra-experiment cell parallelism; <= 0 means
+	// GOMAXPROCS, 1 recovers strictly sequential execution.
+	Workers int
+	// Ctx, when non-nil, cancels cell dispatch mid-experiment.
+	Ctx context.Context
+	// Progress, when non-nil, is called as an experiment's cells finish
+	// (completion order, serialised per experiment).
+	Progress func(id string, done, total int)
+}
+
+// cell is one independent simulation of an experiment's batch. The
+// label names the sweep point for error reports.
+type cell struct {
+	label string
+	cfg   core.Config
+}
+
+// runCells executes the cells through the batch pool and returns their
+// reports in cell order. All failing cells are reported, not only the
+// first.
+func (r *Runner) runCells(id string, cells []cell) ([]*core.Report, error) {
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts := batch.Options{Workers: r.Workers}
+	if r.Progress != nil {
+		opts.OnCellDone = func(done, total int) { r.Progress(id, done, total) }
+	}
+	reports, err := batch.Map(ctx, opts, len(cells),
+		func(_ context.Context, i int) (*core.Report, error) {
+			rep, err := r.run(cells[i].cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", cells[i].label, err)
+			}
+			return rep, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	return reports, nil
 }
 
 // horizon returns the per-run simulated horizon.
@@ -172,8 +219,8 @@ func (r *Runner) E1() (*Result, error) {
 		"E1: throughput penalty of online testing vs no-test baseline (16nm)",
 		"interarrival", "core-util", "tput-ref(tasks/s)",
 		"penalty-POTS(%)", "penalty-Naive(%)", "test-energy(%)")
+	var cells []cell
 	for _, iat := range loads {
-		var penP, penN, util, tputRef, share float64
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			// A criticality-independent mapper keeps the mapping identical
@@ -183,20 +230,27 @@ func (r *Runner) E1() (*Result, error) {
 			cfg.TDPFraction = 0.30
 			cfg.MeanInterarrival = iat
 			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
+			for _, pol := range []core.TestPolicyKind{core.PolicyPOTS,
+				core.PolicyNoTest, core.PolicyNaive} {
+				c := cfg
+				c.TestPolicy = pol
+				cells = append(cells, cell{
+					label: fmt.Sprintf("iat=%v seed=%d %s", iat, seed, pol),
+					cfg:   c,
+				})
 			}
-			cfg.TestPolicy = core.PolicyNoTest
-			ref, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg.TestPolicy = core.PolicyNaive
-			naive, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	reports, err := r.runCells("E1", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, iat := range loads {
+		var penP, penN, util, tputRef, share float64
+		for range r.seeds() {
+			rep, ref, naive := reports[k], reports[k+1], reports[k+2]
+			k += 3
 			penP += rep.ThroughputPenalty(ref)
 			penN += naive.ThroughputPenalty(ref)
 			util += rep.MeanCoreUtilization
@@ -218,10 +272,11 @@ func (r *Runner) E2() (*Result, error) {
 	cfg := r.baseConfig()
 	cfg.Seed = r.seeds()[0]
 	cfg.TraceEvery = 5 * sim.Millisecond
-	rep, err := r.run(cfg)
+	reports, err := r.runCells("E2", []cell{{label: "trace", cfg: cfg}})
 	if err != nil {
 		return nil, err
 	}
+	rep := reports[0]
 	t := metrics.NewTable(
 		"E2: chip power trace under dynamic power budgeting",
 		"t(ms)", "workload(W)", "test(W)", "total(W)", "TDP(W)")
@@ -245,10 +300,11 @@ func (r *Runner) E3() (*Result, error) {
 	if !r.Quick {
 		cfg.Horizon = sim.Second
 	}
-	rep, err := r.run(cfg)
+	reports, err := r.runCells("E3", []cell{{label: "stress", cfg: cfg}})
 	if err != nil {
 		return nil, err
 	}
+	rep := reports[0]
 	type row struct {
 		id         int
 		stress     float64
@@ -300,10 +356,11 @@ func (r *Runner) E3() (*Result, error) {
 func (r *Runner) E4() (*Result, error) {
 	cfg := r.baseConfig()
 	cfg.Seed = r.seeds()[0]
-	rep, err := r.run(cfg)
+	reports, err := r.runCells("E4", []cell{{label: "coverage", cfg: cfg}})
 	if err != nil {
 		return nil, err
 	}
+	rep := reports[0]
 	pts := cfg.Node.OperatingPoints(cfg.DVFSLevels)
 	t := metrics.NewTable(
 		"E4: completed tests per DVFS operating point",
@@ -324,17 +381,27 @@ func (r *Runner) E5() (*Result, error) {
 		"E5: runtime mapping policies under online testing",
 		"mapper", "tput(tasks/s)", "dispersion(hops)", "queue-delay(ms)",
 		"tests-done", "tests-aborted", "mean-test-interval(ms)")
-	for _, m := range []string{"FF", "NN", "CoNA", "MapPro", "TUM"} {
-		var a agg
+	mappers := []string{"FF", "NN", "CoNA", "MapPro", "TUM"}
+	var cells []cell
+	for _, m := range mappers {
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			cfg.MapperName = m
 			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			a.add(rep)
+			cells = append(cells, cell{
+				label: fmt.Sprintf("mapper=%s seed=%d", m, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E5", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, m := range mappers {
+		var a agg
+		for range r.seeds() {
+			a.add(reports[k])
+			k++
 		}
 		t.AddRow(m, a.mean(a.tput), a.mean(a.dispersion), a.mean(a.queueMS),
 			a.mean(a.done), a.mean(a.aborted), a.last.MeanTestIntervalMS())
@@ -357,6 +424,7 @@ func (r *Runner) E6() (*Result, error) {
 		"E6: scalability across mesh sizes (arrivals scaled with core count)",
 		"mesh", "cores", "tput(tasks/s)", "tput-per-core", "test-energy(%)",
 		"violations(%)", "test-interval(ms)")
+	var cells []cell
 	for _, sz := range sizes {
 		cfg := r.baseConfig()
 		cfg.Width, cfg.Height = sz.w, sz.h
@@ -366,10 +434,16 @@ func (r *Runner) E6() (*Result, error) {
 		// Memory interfaces scale with integration; without this the
 		// sweep measures the memory wall, not the scheduler.
 		cfg.MemCapacityHz *= float64(cores) / 64
-		rep, err := r.run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{
+			label: fmt.Sprintf("mesh=%dx%d", sz.w, sz.h), cfg: cfg})
+	}
+	reports, err := r.runCells("E6", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, sz := range sizes {
+		rep := reports[i]
+		cores := sz.w * sz.h
 		t.AddRow(fmt.Sprintf("%dx%d", sz.w, sz.h), cores,
 			rep.ThroughputTasksPerSec,
 			rep.ThroughputTasksPerSec/float64(cores),
@@ -396,6 +470,7 @@ func (r *Runner) E7() (*Result, error) {
 		dies = []die{{"45nm", 4, 4}, {"16nm", 16, 8}}
 	}
 	const packageTDP = 32.0
+	var cells []cell
 	for _, d := range dies {
 		cfg := r.baseConfig()
 		node, err := techByName(d.name)
@@ -415,11 +490,16 @@ func (r *Runner) E7() (*Result, error) {
 			cfg.Mix.EmbeddedShare = 0
 			cfg.Mix.Random.MaxTasks = cores / 2
 		}
-		rep, err := r.run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(d.name, cores, 100*node.DarkFraction(packageTDP, cores),
+		cells = append(cells, cell{label: "node=" + d.name, cfg: cfg})
+	}
+	reports, err := r.runCells("E7", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range dies {
+		rep := reports[i]
+		cores := d.w * d.h
+		t.AddRow(d.name, cores, 100*cells[i].cfg.Node.DarkFraction(packageTDP, cores),
 			rep.ThroughputTasksPerSec, rep.MeanCoreUtilization,
 			rep.TestsCompleted, 100*rep.TestEnergyShare)
 	}
@@ -434,9 +514,10 @@ func (r *Runner) E8() (*Result, error) {
 		"E8: fault detection under accelerated aging-driven injection",
 		"policy", "injected", "detected", "rate(%)", "mean-latency(ms)",
 		"escapes", "corruptions")
-	for _, pol := range []core.TestPolicyKind{core.PolicyPOTS, core.PolicyNaive,
-		core.PolicyPeriodic, core.PolicyNoTest} {
-		var inj, det, esc, corr, lat float64
+	policies := []core.TestPolicyKind{core.PolicyPOTS, core.PolicyNaive,
+		core.PolicyPeriodic, core.PolicyNoTest}
+	var cells []cell
+	for _, pol := range policies {
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			if !r.Quick {
@@ -446,10 +527,20 @@ func (r *Runner) E8() (*Result, error) {
 			cfg.EnableFaults = true
 			cfg.Faults.BaseRatePerSec = 0.1
 			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{
+				label: fmt.Sprintf("policy=%s seed=%d", pol, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E8", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, pol := range policies {
+		var inj, det, esc, corr, lat float64
+		for range r.seeds() {
+			rep := reports[k]
+			k++
 			fs := rep.FaultStats
 			inj += float64(fs.Injected)
 			det += float64(fs.Detected)
@@ -481,28 +572,35 @@ func (r *Runner) E9() (*Result, error) {
 		"E9: TDP sweep — power-aware testing degrades gracefully",
 		"tdp-frac", "TDP(W)", "tput(tasks/s)", "penalty-POTS(%)",
 		"penalty-Naive(%)", "tests-done", "power-skips", "viol-POTS(%)", "viol-Naive(%)")
+	var cells []cell
 	for _, f := range fracs {
-		var penP, penN, tput, done, skips, violP, violN float64
-		var tdp float64
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			cfg.MapperName = "NN" // identical mapping across policies
 			cfg.TDPFraction = f
 			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
+			for _, pol := range []core.TestPolicyKind{core.PolicyPOTS,
+				core.PolicyNoTest, core.PolicyNaive} {
+				c := cfg
+				c.TestPolicy = pol
+				cells = append(cells, cell{
+					label: fmt.Sprintf("tdp=%.2f seed=%d %s", f, seed, pol),
+					cfg:   c,
+				})
 			}
-			cfg.TestPolicy = core.PolicyNoTest
-			ref, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg.TestPolicy = core.PolicyNaive
-			nv, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	reports, err := r.runCells("E9", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, f := range fracs {
+		var penP, penN, tput, done, skips, violP, violN float64
+		var tdp float64
+		for range r.seeds() {
+			rep, ref, nv := reports[k], reports[k+1], reports[k+2]
+			k += 3
 			tdp = rep.TDPWatts
 			penP += rep.ThroughputPenalty(ref)
 			penN += nv.ThroughputPenalty(ref)
@@ -538,18 +636,28 @@ func (r *Runner) E10() (*Result, error) {
 		"E10: ablation of the proposed scheduler's design points",
 		"variant", "tput(tasks/s)", "tests-done", "level-coverage(%)",
 		"power-skips", "violations(%)", "test-energy(%)")
+	var cells []cell
 	for _, v := range variants {
-		var a agg
-		var cov float64
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			cfg.TDPFraction = 0.28 // binding budget separates the variants
 			cfg.Seed = seed
 			v.mut(&cfg)
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{
+				label: fmt.Sprintf("variant=%s seed=%d", v.name, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E10", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, v := range variants {
+		var a agg
+		var cov float64
+		for range r.seeds() {
+			rep := reports[k]
+			k++
 			a.add(rep)
 			cov += rep.LevelCoverage
 		}
@@ -579,16 +687,22 @@ func (r *Runner) E11() (*Result, error) {
 		"mode", "tasks-done", "tests-done", "mean-power(W)", "core-util")
 	type outcome struct{ tasks, tests int }
 	var txn, flit outcome
-	for _, mode := range []string{"txn", "flit"} {
+	modes := []string{"txn", "flit"}
+	var cells []cell
+	for _, mode := range modes {
 		cfg := r.baseConfig()
 		cfg.Horizon = horizon
 		cfg.MapperName = "NN"
 		cfg.Seed = r.seeds()[0]
 		cfg.NoCMode = mode
-		rep, err := r.run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{label: "mode=" + mode, cfg: cfg})
+	}
+	reports, err := r.runCells("E11", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
+		rep := reports[i]
 		t.AddRow(mode, rep.TasksCompleted, rep.TestsCompleted,
 			rep.MeanPowerW, rep.MeanCoreUtilization)
 		if mode == "txn" {
@@ -623,19 +737,30 @@ func (r *Runner) E12() (*Result, error) {
 		"E12: per-class DVFS slowdown under a binding TDP (fraction 0.22)",
 		"capper", "slowdown-hardRT", "slowdown-softRT", "slowdown-BE",
 		"tasks-hardRT", "tasks-softRT", "tasks-BE")
-	for _, aware := range []bool{true, false} {
-		var sh, ss, sb float64
-		var th, ts, tb float64
-		n := 0
+	cappers := []bool{true, false}
+	var cells []cell
+	for _, aware := range cappers {
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			cfg.TDPFraction = 0.22
 			cfg.Seed = seed
 			cfg.ClassAwareDVFS = aware
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{
+				label: fmt.Sprintf("aware=%v seed=%d", aware, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E12", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, aware := range cappers {
+		var sh, ss, sb float64
+		var th, ts, tb float64
+		n := 0
+		for range r.seeds() {
+			rep := reports[k]
+			k++
 			sh += rep.ClassSlowdown["hard-rt"]
 			ss += rep.ClassSlowdown["soft-rt"]
 			sb += rep.ClassSlowdown["best-effort"]
@@ -666,9 +791,9 @@ func (r *Runner) E13() (*Result, error) {
 		"E13: end-of-run aging stress by mapper (accelerated to ~6 effective years)",
 		"mapper", "mean-stress", "max-stress", "imbalance(max/mean)",
 		"stress-std", "tput(tasks/s)")
-	for _, m := range []string{"FF", "NN", "CoNA", "TUM"} {
-		var mean, max, imb, std, tput float64
-		n := 0
+	mappers := []string{"FF", "NN", "CoNA", "TUM"}
+	var cells []cell
+	for _, m := range mappers {
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			if !r.Quick {
@@ -677,10 +802,21 @@ func (r *Runner) E13() (*Result, error) {
 			cfg.MapperName = m
 			cfg.Aging.AccelFactor = 2e8
 			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{
+				label: fmt.Sprintf("mapper=%s seed=%d", m, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E13", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, m := range mappers {
+		var mean, max, imb, std, tput float64
+		n := 0
+		for range r.seeds() {
+			rep := reports[k]
+			k++
 			var mx, sum, sq float64
 			for _, s := range rep.PerCoreStress {
 				if s > mx {
@@ -729,9 +865,8 @@ func (r *Runner) E14() (*Result, error) {
 		"E14: criticality base interval vs test cost and detection quality",
 		"base-interval", "tests-done", "test-energy(%)",
 		"detect-rate(%)", "mean-latency(ms)", "corruptions")
+	var cells []cell
 	for _, base := range intervals {
-		var done, share, rate, lat, corr float64
-		n := 0
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			if !r.Quick {
@@ -741,10 +876,21 @@ func (r *Runner) E14() (*Result, error) {
 			cfg.EnableFaults = true
 			cfg.Faults.BaseRatePerSec = 0.1
 			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{
+				label: fmt.Sprintf("base=%v seed=%d", base, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E14", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, base := range intervals {
+		var done, share, rate, lat, corr float64
+		n := 0
+		for range r.seeds() {
+			rep := reports[k]
+			k++
 			done += float64(rep.TestsCompleted)
 			share += rep.TestEnergyShare
 			rate += rep.FaultStats.DetectionRate
@@ -768,17 +914,28 @@ func (r *Runner) E15() (*Result, error) {
 		"E15: per-core governor policy under the default budget",
 		"governor", "tput(tasks/s)", "mean-power(W)", "energy-per-task(mJ)",
 		"violations(%)", "test-energy(%)")
-	for _, race := range []bool{false, true} {
-		var tput, power, ept, viol, share float64
-		n := 0
+	governors := []bool{false, true}
+	var cells []cell
+	for _, race := range governors {
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			cfg.GovernorRaceToIdle = race
 			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{
+				label: fmt.Sprintf("race=%v seed=%d", race, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E15", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, race := range governors {
+		var tput, power, ept, viol, share float64
+		n := 0
+		for range r.seeds() {
+			rep := reports[k]
+			k++
 			tput += rep.ThroughputTasksPerSec
 			power += rep.MeanPowerW
 			if rep.TasksCompleted > 0 {
@@ -814,18 +971,29 @@ func (r *Runner) E16() (*Result, error) {
 		"E16: analytic test-interval model vs simulation",
 		"interarrival", "idle-frac", "admit-prob", "predicted(ms)",
 		"measured(ms)", "ratio")
+	var cells []cell
+	for _, iat := range loads {
+		for _, seed := range r.seeds() {
+			cfg := r.baseConfig()
+			cfg.MeanInterarrival = iat
+			cfg.Seed = seed
+			cells = append(cells, cell{
+				label: fmt.Sprintf("iat=%v seed=%d", iat, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E16", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
 	for _, iat := range loads {
 		var idle, admit, measured, targetMS float64
 		n := 0
 		var cfg core.Config
-		for _, seed := range r.seeds() {
-			cfg = r.baseConfig()
-			cfg.MeanInterarrival = iat
-			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+		for range r.seeds() {
+			cfg = cells[k].cfg
+			rep := reports[k]
+			k++
 			sumIdle, sumTarget := 0.0, 0.0
 			for i, f := range rep.PerCoreIdleFrac {
 				sumIdle += f
@@ -881,17 +1049,27 @@ func (r *Runner) E17() (*Result, error) {
 		"E17: memory-controller bottleneck (0 = ideal memory)",
 		"controllers", "tput(tasks/s)", "mean-rho", "peak-rho",
 		"test-energy(%)", "core-util")
+	var cells []cell
 	for _, mc := range counts {
-		var tput, meanRho, peakRho, share, util float64
-		n := 0
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			cfg.MemControllers = mc
 			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{
+				label: fmt.Sprintf("controllers=%d seed=%d", mc, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E17", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, mc := range counts {
+		var tput, meanRho, peakRho, share, util float64
+		n := 0
+		for range r.seeds() {
+			rep := reports[k]
+			k++
 			tput += rep.ThroughputTasksPerSec
 			meanRho += rep.MeanMemRho
 			peakRho += rep.PeakMemRho
@@ -916,19 +1094,29 @@ func (r *Runner) E18() (*Result, error) {
 		"E18: test segmentation under heavy preemption (FF mapper, dense arrivals)",
 		"segment-cycles", "tests-started", "tests-completed", "tests-aborted",
 		"abort-waste(%)", "test-energy(%)")
+	var cells []cell
 	for _, g := range grains {
-		var started, done, aborted, share float64
-		n := 0
 		for _, seed := range r.seeds() {
 			cfg := r.baseConfig()
 			cfg.MeanInterarrival = sim.Millisecond
 			cfg.MapperName = "FF"
 			cfg.TestSegmentCycles = g
 			cfg.Seed = seed
-			rep, err := r.run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{
+				label: fmt.Sprintf("segment=%d seed=%d", g, seed), cfg: cfg})
+		}
+	}
+	reports, err := r.runCells("E18", cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, g := range grains {
+		var started, done, aborted, share float64
+		n := 0
+		for range r.seeds() {
+			rep := reports[k]
+			k++
 			started += float64(rep.TestsStarted)
 			done += float64(rep.TestsCompleted)
 			aborted += float64(rep.TestsAborted)

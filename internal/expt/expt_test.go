@@ -1,9 +1,15 @@
 package expt
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
+
+	"potsim/internal/sim"
 )
 
 // quickRunner shares results between tests of the same experiment.
@@ -162,6 +168,125 @@ func TestRunnerDeterminism(t *testing.T) {
 	}
 	if a.Table.CSV() != b.Table.CSV() {
 		t.Error("same-seed experiment runs differ")
+	}
+}
+
+// TestCellDeterminism runs the same (config, seed) cell twice
+// sequentially and once through the parallel pool: all three reports
+// must be deep-equal, proving a core.System run is a pure function of
+// its config and safe to fan out.
+func TestCellDeterminism(t *testing.T) {
+	r := quickRunner()
+	cfg := r.baseConfig()
+	cfg.Seed = 7
+	cfg.EnableFaults = true
+
+	seq1, err := r.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := r.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq1, seq2) {
+		t.Fatal("two sequential runs of the same cell differ: simulation is not deterministic")
+	}
+
+	pool := &Runner{Quick: true, Workers: 4}
+	// Surround the cell of interest with siblings so it actually runs
+	// concurrently with other simulations.
+	cells := make([]cell, 8)
+	for i := range cells {
+		c := cfg
+		if i != 3 {
+			c.Seed = uint64(100 + i)
+		}
+		cells[i] = cell{label: fmt.Sprintf("cell%d", i), cfg: c}
+	}
+	reports, err := pool.runCells("det", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq1, reports[3]) {
+		t.Error("parallel-pool run of the same cell differs from the sequential run")
+	}
+}
+
+// TestE1GoldenAcrossWorkerCounts is the reproducibility guarantee in
+// one assertion: E1's rendered output is byte-identical whether cells
+// run sequentially or on an 8-wide pool.
+func TestE1GoldenAcrossWorkerCounts(t *testing.T) {
+	seq, err := (&Runner{Quick: true, Workers: 1}).E1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&Runner{Quick: true, Workers: 8}).E1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Render() != par.Render() {
+		t.Errorf("E1 output depends on worker count:\n-- workers=1 --\n%s\n-- workers=8 --\n%s",
+			seq.Render(), par.Render())
+	}
+}
+
+// TestRunnerProgressCounts: the progress callback sees every cell of an
+// experiment exactly once and reports a stable total.
+func TestRunnerProgressCounts(t *testing.T) {
+	var mu sync.Mutex
+	done, total := 0, 0
+	r := &Runner{Quick: true, Workers: 2,
+		Progress: func(id string, d, n int) {
+			if id != "E5" {
+				t.Errorf("progress for unexpected experiment %q", id)
+			}
+			mu.Lock()
+			done++
+			total = n
+			mu.Unlock()
+		}}
+	if _, err := r.E5(); err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode: 5 mappers x 1 seed.
+	if done != 5 || total != 5 {
+		t.Errorf("progress saw %d/%d cells, want 5/5", done, total)
+	}
+}
+
+// TestRunnerCancelledContext: a pre-cancelled context aborts the batch
+// with a context error instead of running the cells.
+func TestRunnerCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Quick: true, Workers: 2, Ctx: ctx}
+	if _, err := r.E5(); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestCellErrorCarriesLabel: an invalid cell reports which sweep point
+// failed, and sibling failures are aggregated rather than first-wins.
+func TestCellErrorCarriesLabel(t *testing.T) {
+	r := quickRunner()
+	good := r.baseConfig()
+	bad := r.baseConfig()
+	bad.DVFSLevels = 1 // rejected by core.Config.Validate
+	bad2 := r.baseConfig()
+	bad2.MeanInterarrival = -sim.Millisecond
+	_, err := r.runCells("EX", []cell{
+		{label: "good", cfg: good},
+		{label: "point-a", cfg: bad},
+		{label: "point-b", cfg: bad2},
+	})
+	if err == nil {
+		t.Fatal("invalid cells accepted")
+	}
+	for _, want := range []string{"EX", "point-a", "point-b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 
