@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"potsim/internal/expt"
+	"potsim/internal/guard"
 )
 
 type idList []string
@@ -56,7 +57,19 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 0, "base seed offset for replication")
 	csvDir := fs.String("csv", "", "directory to write per-experiment CSV tables into")
 	progress := fs.Bool("progress", false, "log per-cell completion to stderr")
+	guardPolicy := fs.String("guard", "", "runtime invariant policy: panic, error or log (default error)")
+	chaosSpec := fs.String("chaos", "", "inject failures: mode[:labelsubstring] with mode panic|hang|nan|error|flaky (diagnostics)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "wall-clock deadline per simulation cell (0 = none)")
+	retries := fs.Int("retries", 0, "extra attempts for transiently failing cells")
+	retryBackoff := fs.Duration("retry-backoff", 0, "pause before the first retry (doubles per retry)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := guard.ParsePolicy(*guardPolicy); err != nil {
+		return err
+	}
+	chaos, err := expt.ParseChaos(*chaosSpec)
+	if err != nil {
 		return err
 	}
 	if *all {
@@ -76,7 +89,11 @@ func run(args []string) error {
 	// runner's progress callback (experiments run concurrently).
 	var mu sync.Mutex
 	cells := map[string]int{}
-	runner := &expt.Runner{Quick: *quick, BaseSeed: *seed, Workers: *workers}
+	runner := &expt.Runner{
+		Quick: *quick, BaseSeed: *seed, Workers: *workers,
+		GuardPolicy: *guardPolicy, Chaos: chaos,
+		CellTimeout: *cellTimeout, Retries: *retries, RetryBackoff: *retryBackoff,
+	}
 	runner.Progress = func(id string, done, total int) {
 		mu.Lock()
 		cells[id] = total
@@ -108,16 +125,23 @@ func run(args []string) error {
 		}(i, id)
 	}
 
-	// Stream results in request order as they become ready; a failed
-	// experiment is reported but does not discard its siblings.
+	// Stream results in request order as they become ready. A failed
+	// experiment degrades instead of disappearing: its partial table
+	// (failed aggregation groups marked n/a) still prints and its CSV is
+	// still flushed, every failed cell is named on stderr, and the exit
+	// code stays non-zero.
 	var errs []error
+	var failed []string
 	for i, id := range ids {
 		<-ready[i]
 		o := outcomes[i]
 		if o.err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, o.err)
 			errs = append(errs, fmt.Errorf("%s: %w", id, o.err))
-			continue
+			failed = append(failed, id)
+			if o.res == nil {
+				continue
+			}
 		}
 		fmt.Println(o.res.Render())
 		mu.Lock()
@@ -130,6 +154,10 @@ func run(args []string) error {
 				errs = append(errs, err)
 			}
 		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments degraded or failed: %s\n",
+			len(failed), len(ids), strings.Join(failed, ", "))
 	}
 	return errors.Join(errs...)
 }

@@ -86,3 +86,63 @@ func TestRunCSVPerExperiment(t *testing.T) {
 		}
 	}
 }
+
+// TestRunChaosDegradesGracefully: with injected failures the command
+// still emits the experiment's partial CSV (failed groups as n/a rows)
+// and reports the failure with the cell's label.
+func TestRunChaosDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-quick", "-e", "E5", "-csv", dir,
+		"-chaos", "error:mapper=FF"})
+	if err == nil {
+		t.Fatal("injected failure reported success")
+	}
+	if !strings.Contains(err.Error(), "mapper=FF") {
+		t.Errorf("error does not name the failed cell: %v", err)
+	}
+	blob, rerr := os.ReadFile(filepath.Join(dir, "e5.csv"))
+	if rerr != nil {
+		t.Fatalf("degraded CSV not written: %v", rerr)
+	}
+	if !strings.Contains(string(blob), "n/a") {
+		t.Errorf("degraded CSV has no n/a rows:\n%s", blob)
+	}
+	if !strings.Contains(string(blob), "TUM") {
+		t.Errorf("surviving cells missing from degraded CSV:\n%s", blob)
+	}
+}
+
+// TestRunRetryFlagRescuesFlakyCell: with a retry budget a transiently
+// failing cell recovers and the command exits cleanly.
+func TestRunRetryFlagRescuesFlakyCell(t *testing.T) {
+	err := run([]string{"-quick", "-e", "E4",
+		"-chaos", "flaky", "-retries", "2", "-retry-backoff", "1ms"})
+	if err != nil {
+		t.Fatalf("retries did not rescue the flaky cell: %v", err)
+	}
+}
+
+func TestRunGuardFlagValidation(t *testing.T) {
+	if err := run([]string{"-quick", "-e", "E4", "-guard", "shrug"}); err == nil {
+		t.Error("bogus guard policy accepted")
+	}
+	if err := run([]string{"-quick", "-e", "E4", "-guard", "log"}); err != nil {
+		t.Fatalf("log guard policy rejected: %v", err)
+	}
+	if err := run([]string{"-quick", "-e", "E4", "-chaos", "meteor"}); err == nil {
+		t.Error("bogus chaos mode accepted")
+	}
+}
+
+// TestRunCellTimeoutFlag: a hanging cell is cut off by the watchdog and
+// the experiment degrades instead of wedging the whole command.
+func TestRunCellTimeoutFlag(t *testing.T) {
+	err := run([]string{"-quick", "-e", "E4",
+		"-chaos", "hang", "-cell-timeout", "50ms"})
+	if err == nil {
+		t.Fatal("hung cell reported success")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("failure not attributed to the deadline: %v", err)
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,6 +57,7 @@ func run(args []string) error {
 		topology = fs.String("topology", "mesh", "interconnect topology: mesh or torus")
 		events   = fs.String("events", "", "write the run's event log as JSONL to this file")
 		trace    = fs.Bool("trace", false, "print the power trace")
+		guardPol = fs.String("guard", "", "runtime invariant policy: panic, error or log (default error)")
 		jsonOut  = fs.Bool("json", false, "emit the full report as JSON instead of text")
 		hist     = fs.Bool("levels-hist", false, "print the per-level test histogram")
 		heat     = fs.Bool("heatmaps", false, "print per-core stress/test/utilization heatmaps")
@@ -70,7 +72,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := json.Unmarshal(blob, &cfg); err != nil {
+		// Strict decoding: a misspelled key silently falling back to its
+		// default would invalidate a whole study, so name it instead.
+		dec := json.NewDecoder(bytes.NewReader(blob))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
 			return fmt.Errorf("parsing %s: %w", *cfgPath, err)
 		}
 	}
@@ -98,6 +104,9 @@ func run(args []string) error {
 	cfg.TracePath = *wlTrace
 	cfg.RecordTracePath = *recTrace
 	cfg.NoCTopology = *topology
+	if *guardPol != "" {
+		cfg.GuardPolicy = *guardPol
+	}
 	if *events != "" && cfg.EventLogCapacity == 0 {
 		cfg.EventLogCapacity = 1 << 20
 	}

@@ -116,3 +116,42 @@ func TestRunTorusTopology(t *testing.T) {
 		t.Error("bogus topology accepted")
 	}
 }
+
+// TestRunConfigStrictKeys: a misspelled config key must be rejected by
+// name, not silently fall back to the default value.
+func TestRunConfigStrictKeys(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join("..", "..", "configs", "default-16nm.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shipped config must itself pass strict decoding.
+	if err := run([]string{"-config",
+		filepath.Join("..", "..", "configs", "default-16nm.json"),
+		"-horizon", "10ms"}); err != nil {
+		t.Fatalf("shipped config rejected under strict decoding: %v", err)
+	}
+	typo := strings.Replace(string(blob), `"TDPFraction"`, `"TDPFracton"`, 1)
+	if !strings.Contains(typo, "TDPFracton") {
+		t.Fatal("test setup: typo not applied")
+	}
+	path := filepath.Join(t.TempDir(), "typo.json")
+	if err := os.WriteFile(path, []byte(typo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-config", path, "-horizon", "10ms"})
+	if err == nil {
+		t.Fatal("misspelled key accepted")
+	}
+	if !strings.Contains(err.Error(), "TDPFracton") {
+		t.Errorf("error does not name the unknown key: %v", err)
+	}
+}
+
+func TestRunGuardFlag(t *testing.T) {
+	if err := run([]string{"-horizon", "10ms", "-guard", "log"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-horizon", "10ms", "-guard", "shrug"}); err == nil {
+		t.Error("bogus guard policy accepted")
+	}
+}

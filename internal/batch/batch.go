@@ -19,6 +19,16 @@
 //   - Cooperative cancellation: cancelling the context stops the
 //     dispatch of not-yet-started cells; in-flight cells run to
 //     completion and their results are kept.
+//   - Watchdog deadlines: with CellTimeout set, a cell that overruns its
+//     deadline is marked failed with a *TimeoutError and its worker slot
+//     is released; the cell's context is cancelled so a cooperative cell
+//     drains promptly, while a wedged one leaks its goroutine instead of
+//     hanging the whole batch.
+//   - Bounded retry: with Retries > 0, a failed attempt is retried after
+//     a backoff. Panics and timeouts are not retried by default (a
+//     deterministic cell will just fail the same way again); RetryIf
+//     overrides that. Exhausting the budget aggregates every attempt's
+//     error.
 package batch
 
 import (
@@ -27,6 +37,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Options configure one batch execution.
@@ -40,6 +51,26 @@ type Options struct {
 	// and the batch size. Calls are serialised by the pool, but their
 	// order follows completion, not cell index.
 	OnCellDone func(done, total int)
+
+	// CellTimeout, when positive, bounds the wall-clock time of each cell
+	// attempt. An attempt that overruns is failed with a *TimeoutError
+	// and its context is cancelled; the attempt's goroutine is left to
+	// drain and its eventual result is discarded.
+	CellTimeout time.Duration
+
+	// Retries is the number of additional attempts after a failed first
+	// one (0, the default, means fail fast). Attempts whose error is a
+	// *PanicError or *TimeoutError are not retried unless RetryIf says
+	// otherwise.
+	Retries int
+
+	// RetryBackoff is the pause before the first retry; each further
+	// retry doubles it. Zero means retry immediately.
+	RetryBackoff time.Duration
+
+	// RetryIf decides whether a failed attempt is worth retrying. Nil
+	// selects the default: retry anything except panics and timeouts.
+	RetryIf func(error) bool
 }
 
 // workers resolves the effective pool size for n cells.
@@ -80,6 +111,29 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
 }
 
+// TimeoutError marks a cell attempt that overran Options.CellTimeout.
+// The attempt's goroutine may still be draining when this is reported.
+type TimeoutError struct {
+	Index   int
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("cell %d exceeded its %v deadline", e.Index, e.Timeout)
+}
+
+// retryable applies Options.RetryIf, defaulting to "anything except a
+// panic or a timeout": both are near-certain to repeat in a deterministic
+// simulation, so burning the retry budget on them only delays the report.
+func (o Options) retryable(err error) bool {
+	if o.RetryIf != nil {
+		return o.RetryIf(err)
+	}
+	var pe *PanicError
+	var te *TimeoutError
+	return !errors.As(err, &pe) && !errors.As(err, &te)
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) on a worker pool and returns
 // the n results in index order. All cell errors are aggregated; a nil
 // error means every cell ran and succeeded. On context cancellation the
@@ -116,7 +170,7 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 		go func() {
 			defer wg.Done()
 			for i := range indexes {
-				results[i], cellErrs[i] = runCell(ctx, i, fn)
+				results[i], cellErrs[i] = runAttempts(ctx, opts, i, fn)
 				cellDone()
 			}
 		}()
@@ -149,6 +203,75 @@ feed:
 			n-dispatched, n, context.Cause(ctx)))
 	}
 	return results, errors.Join(errs...)
+}
+
+// runAttempts drives one cell through its retry budget: the first
+// attempt plus up to opts.Retries more, backing off (doubling) between
+// attempts. On success the successful attempt's result is returned and
+// earlier failures are forgotten; on exhaustion every attempt's error is
+// aggregated so the report shows the full history, not just the last
+// symptom.
+func runAttempts[T any](ctx context.Context, opts Options, i int, fn func(context.Context, int) (T, error)) (T, error) {
+	result, err := runWithWatchdog(ctx, opts, i, fn)
+	if err == nil || opts.Retries <= 0 {
+		return result, err
+	}
+	attemptErrs := []error{fmt.Errorf("attempt 1: %w", err)}
+	backoff := opts.RetryBackoff
+	for a := 2; a <= opts.Retries+1; a++ {
+		if !opts.retryable(err) || ctx.Err() != nil {
+			break
+		}
+		if backoff > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				var zero T
+				return zero, errors.Join(append(attemptErrs, context.Cause(ctx))...)
+			}
+			backoff *= 2
+		}
+		result, err = runWithWatchdog(ctx, opts, i, fn)
+		if err == nil {
+			return result, nil
+		}
+		attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", a, err))
+	}
+	var zero T
+	return zero, errors.Join(attemptErrs...)
+}
+
+// runWithWatchdog executes one cell attempt under the optional deadline.
+// The attempt runs in its own goroutine; on timeout its context is
+// cancelled (a cooperative cell drains promptly) and the worker slot is
+// released immediately, trading a leaked goroutine for batch liveness.
+func runWithWatchdog[T any](ctx context.Context, opts Options, i int, fn func(context.Context, int) (T, error)) (T, error) {
+	if opts.CellTimeout <= 0 {
+		return runCell(ctx, i, fn)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	type outcome struct {
+		result T
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer cancel()
+		r, err := runCell(cctx, i, fn)
+		ch <- outcome{r, err}
+	}()
+	timer := time.NewTimer(opts.CellTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.result, out.err
+	case <-timer.C:
+		cancel()
+		var zero T
+		return zero, &TimeoutError{Index: i, Timeout: opts.CellTimeout}
+	}
 }
 
 // runCell executes one cell with panic containment.

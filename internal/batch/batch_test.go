@@ -240,3 +240,164 @@ func TestMapProgressCallback(t *testing.T) {
 		seen[d] = true
 	}
 }
+
+func TestMapCellTimeoutMarksHungCell(t *testing.T) {
+	released := make(chan struct{})
+	defer close(released)
+	results, err := Map(context.Background(),
+		Options{Workers: 4, CellTimeout: 20 * time.Millisecond}, 4,
+		func(ctx context.Context, i int) (int, error) {
+			if i == 2 {
+				// A cooperative hang: waits for the watchdog to cancel
+				// its context (or the test to end).
+				select {
+				case <-ctx.Done():
+				case <-released:
+				}
+				return 0, fmt.Errorf("hung cell woke up: %w", ctx.Err())
+			}
+			return i * 10, nil
+		})
+	if err == nil {
+		t.Fatal("hung cell did not fail the batch")
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v carries no *TimeoutError", err)
+	}
+	if te.Index != 2 {
+		t.Errorf("timed-out cell index = %d, want 2", te.Index)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != 2 {
+		t.Errorf("timeout not wrapped in cell 2's *CellError: %v", err)
+	}
+	// Siblings must complete normally with their results intact.
+	for _, i := range []int{0, 1, 3} {
+		if results[i] != i*10 {
+			t.Errorf("sibling cell %d result %d, want %d", i, results[i], i*10)
+		}
+	}
+	if results[2] != 0 {
+		t.Errorf("timed-out cell result %d, want zero value", results[2])
+	}
+}
+
+func TestMapTimeoutCancelsCellContext(t *testing.T) {
+	cancelled := make(chan struct{})
+	_, err := Map(context.Background(),
+		Options{Workers: 1, CellTimeout: 10 * time.Millisecond}, 1,
+		func(ctx context.Context, i int) (int, error) {
+			go func() {
+				<-ctx.Done()
+				close(cancelled)
+			}()
+			select {
+			case <-ctx.Done():
+			case <-time.After(10 * time.Second):
+			}
+			return 0, ctx.Err()
+		})
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cell context never cancelled after the deadline")
+	}
+}
+
+func TestMapRetrySucceedsAfterTransientFailure(t *testing.T) {
+	var attempts atomic.Int32
+	results, err := Map(context.Background(),
+		Options{Workers: 1, Retries: 2}, 1,
+		func(ctx context.Context, i int) (int, error) {
+			if attempts.Add(1) < 3 {
+				return 0, fmt.Errorf("transient glitch %d", attempts.Load())
+			}
+			return 42, nil
+		})
+	if err != nil {
+		t.Fatalf("retry did not rescue the cell: %v", err)
+	}
+	if results[0] != 42 {
+		t.Errorf("result %d, want 42", results[0])
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("fn ran %d times, want 3", got)
+	}
+}
+
+func TestMapRetryExhaustionAggregatesAttempts(t *testing.T) {
+	var attempts atomic.Int32
+	_, err := Map(context.Background(),
+		Options{Workers: 1, Retries: 2, RetryBackoff: time.Millisecond}, 1,
+		func(ctx context.Context, i int) (int, error) {
+			return 0, fmt.Errorf("glitch %d", attempts.Add(1))
+		})
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("fn ran %d times, want 3", got)
+	}
+	for a := 1; a <= 3; a++ {
+		want := fmt.Sprintf("attempt %d: glitch %d", a, a)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregate error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestMapPanicsAndTimeoutsNotRetriedByDefault(t *testing.T) {
+	var attempts atomic.Int32
+	_, err := Map(context.Background(),
+		Options{Workers: 1, Retries: 5}, 1,
+		func(ctx context.Context, i int) (int, error) {
+			attempts.Add(1)
+			panic("deterministic crash")
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want panic error, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("panicking cell attempted %d times, want 1", got)
+	}
+
+	attempts.Store(0)
+	_, err = Map(context.Background(),
+		Options{Workers: 1, Retries: 5, CellTimeout: 10 * time.Millisecond}, 1,
+		func(ctx context.Context, i int) (int, error) {
+			attempts.Add(1)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("timed-out cell attempted %d times, want 1", got)
+	}
+}
+
+func TestMapRetryIfOverridesDefault(t *testing.T) {
+	var attempts atomic.Int32
+	_, err := Map(context.Background(),
+		Options{
+			Workers: 1, Retries: 2,
+			RetryIf: func(err error) bool { return false },
+		}, 1,
+		func(ctx context.Context, i int) (int, error) {
+			return 0, fmt.Errorf("glitch %d", attempts.Add(1))
+		})
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("RetryIf=false still attempted %d times, want 1", got)
+	}
+}

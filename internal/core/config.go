@@ -10,6 +10,7 @@ import (
 
 	"potsim/internal/aging"
 	"potsim/internal/faults"
+	"potsim/internal/guard"
 	"potsim/internal/mapping"
 	"potsim/internal/noc"
 	"potsim/internal/sbst"
@@ -172,6 +173,14 @@ type Config struct {
 	// published graph annotations are bandwidth summaries). It sets the
 	// communication-to-computation ratio; 0 makes communication free.
 	CommScale int
+
+	// GuardPolicy selects how runtime invariant violations (non-finite
+	// chip power, thermal runaway, a non-monotonic clock, occupancy
+	// inconsistencies) are handled: "panic" crashes at the violation,
+	// "error" (or "") stops the run with a structured *guard.ViolationError,
+	// and "log" records the violation and continues, attaching the tally
+	// to the report. See internal/guard.
+	GuardPolicy string
 }
 
 // DefaultConfig returns the paper's headline setup: an 8x8 mesh at 16nm
@@ -277,6 +286,9 @@ func (c Config) Validate() error {
 	}
 	if c.CommScale < 0 {
 		return fmt.Errorf("core: CommScale must be non-negative")
+	}
+	if _, err := guard.ParsePolicy(c.GuardPolicy); err != nil {
+		return err
 	}
 	if c.MemControllers < 0 || c.MemControllers > 4 {
 		return fmt.Errorf("core: MemControllers must be 0..4")

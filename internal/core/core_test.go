@@ -2,12 +2,17 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"math"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"potsim/internal/eventlog"
+	"potsim/internal/guard"
 	"potsim/internal/sbst"
 	"potsim/internal/sim"
 	"potsim/internal/workload"
@@ -168,6 +173,20 @@ func TestDeterminism(t *testing.T) {
 		a.EnergyJ != b.EnergyJ ||
 		a.MeanPowerW != b.MeanPowerW {
 		t.Errorf("same seed diverged:\n%+v\n%+v", a.Summary(), b.Summary())
+	}
+}
+
+// TestFlitModeDeterminism pins the co-simulated NoC path: flit
+// injection order used to follow map iteration over CommFlits, so
+// identical seeds produced different router arbitration and drifted
+// the power/utilization numbers between runs.
+func TestFlitModeDeterminism(t *testing.T) {
+	cfg := shortConfig()
+	cfg.NoCMode = "flit"
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged in flit mode:\n%+v\n%+v", a.Summary(), b.Summary())
 	}
 }
 
@@ -834,5 +853,157 @@ func TestFlitModeOnTorus(t *testing.T) {
 	rep := mustRun(t, cfg)
 	if rep.TasksCompleted == 0 {
 		t.Error("flit-mode torus run did no work")
+	}
+}
+
+// --- runtime guard tests -------------------------------------------------
+
+func TestGuardPolicyValidation(t *testing.T) {
+	cfg := shortConfig()
+	cfg.GuardPolicy = "explode"
+	if _, err := New(cfg); err == nil {
+		t.Error("bogus guard policy accepted")
+	}
+	for _, p := range []string{"", "panic", "error", "log"} {
+		cfg := shortConfig()
+		cfg.GuardPolicy = p
+		if _, err := New(cfg); err != nil {
+			t.Errorf("guard policy %q rejected: %v", p, err)
+		}
+	}
+}
+
+func TestGuardCleanRunReportsNoViolations(t *testing.T) {
+	rep := mustRun(t, shortConfig())
+	if rep.GuardViolations != 0 {
+		t.Errorf("healthy run tallied %d violations: %v", rep.GuardViolations, rep.GuardCounts)
+	}
+	if rep.GuardCounts != nil || rep.GuardRecord != nil {
+		t.Error("clean run should leave guard counts/record nil for DeepEqual stability")
+	}
+	if rep.GuardPolicy != "error" {
+		t.Errorf("default guard policy = %q, want error", rep.GuardPolicy)
+	}
+}
+
+// poisonedSystem assembles a system and injects a NaN temperature into
+// core 0's thermal node, the canonical numeric-runaway seed: the leakage
+// model turns it into NaN core power on the next epoch, which then
+// propagates into every derived metric. (Poisoning the power accountant
+// directly would be undone by the epoch's own SetWorkload refresh.)
+func poisonedSystem(t *testing.T, policy string) *System {
+	t.Helper()
+	cfg := shortConfig()
+	cfg.GuardPolicy = policy
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.therm.Poison(0, math.NaN())
+	return sys
+}
+
+func TestGuardErrorPolicyAbortsPoisonedRun(t *testing.T) {
+	sys := poisonedSystem(t, "error")
+	_, err := sys.Run()
+	if err == nil {
+		t.Fatal("NaN-poisoned run completed without error")
+	}
+	var verr *guard.ViolationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error %v is not a *guard.ViolationError", err)
+	}
+	if verr.V.Invariant != "power.finite" {
+		t.Errorf("violated invariant = %q, want power.finite", verr.V.Invariant)
+	}
+}
+
+func TestGuardLogPolicyDegradesButCompletes(t *testing.T) {
+	sys := poisonedSystem(t, "log")
+	sys.guard.SetLog(io.Discard)
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatalf("log policy should complete the run: %v", err)
+	}
+	if rep.GuardViolations == 0 {
+		t.Fatal("poisoned run under log policy tallied no violations")
+	}
+	if rep.GuardCounts["power.finite"] == 0 {
+		t.Errorf("power.finite not counted: %v", rep.GuardCounts)
+	}
+	if len(rep.GuardRecord) == 0 {
+		t.Error("no violations recorded")
+	}
+	if !strings.Contains(rep.Summary(), "guard") {
+		t.Error("report summary omits the guard line")
+	}
+}
+
+func TestGuardPanicPolicyPanics(t *testing.T) {
+	sys := poisonedSystem(t, "panic")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic policy did not panic on a poisoned run")
+		}
+		if _, ok := r.(*guard.ViolationError); !ok {
+			t.Errorf("panic value %v is not a *guard.ViolationError", r)
+		}
+	}()
+	sys.Run()
+}
+
+func TestGuardCatchesThermalEscape(t *testing.T) {
+	cfg := shortConfig()
+	cfg.GuardPolicy = "error"
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sub-ambient temperature is out of bounds but keeps the leakage
+	// model finite, so thermal.bounds trips before any power invariant.
+	sys.therm.Poison(3, 100)
+	_, err = sys.Run()
+	var verr *guard.ViolationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("thermal escape not caught: %v", err)
+	}
+	if verr.V.Invariant != "thermal.bounds" {
+		t.Errorf("violated invariant = %q, want thermal.bounds", verr.V.Invariant)
+	}
+}
+
+func TestGuardCatchesOccupancyDrift(t *testing.T) {
+	cfg := shortConfig()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A free core that still owns a task is a scheduler/mapper bookkeeping
+	// divergence no healthy run can produce.
+	sys.cores[2].task = &taskRun{}
+	if err := sys.checkOccupancy(2, 0); err == nil {
+		t.Fatal("occupancy drift not flagged")
+	} else {
+		var verr *guard.ViolationError
+		if !errors.As(err, &verr) || verr.V.Invariant != "mapper.occupancy" {
+			t.Errorf("unexpected error %v", err)
+		}
+	}
+}
+
+func TestReportSanityFlagsNaN(t *testing.T) {
+	rep := mustRun(t, shortConfig())
+	if err := rep.Sanity(); err != nil {
+		t.Fatalf("healthy report failed sanity: %v", err)
+	}
+	rep.MeanPowerW = math.NaN()
+	if err := rep.Sanity(); err == nil {
+		t.Error("NaN MeanPowerW passed sanity")
+	}
+	rep2 := mustRun(t, shortConfig())
+	rep2.PerCoreUtil[1] = math.Inf(1)
+	if err := rep2.Sanity(); err == nil {
+		t.Error("Inf per-core utilization passed sanity")
 	}
 }

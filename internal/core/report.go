@@ -3,9 +3,12 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"potsim/internal/faults"
+	"potsim/internal/guard"
 	"potsim/internal/metrics"
 	"potsim/internal/power"
 	"potsim/internal/scheduler"
@@ -87,6 +90,17 @@ type Report struct {
 	FaultStats faults.Stats
 	// DecommissionedCores lists cores retired after fault detection.
 	DecommissionedCores []int
+
+	// Guard outcome: runtime invariant violations observed during the
+	// run. Non-zero counts appear only under the log-and-continue policy
+	// — the error policy stops the run at the first violation, and the
+	// panic policy never reaches the report. GuardRecord is bounded (the
+	// first violations, GuardDropped counts the overflow).
+	GuardPolicy     string
+	GuardViolations int
+	GuardCounts     map[string]int    `json:",omitempty"`
+	GuardRecord     []guard.Violation `json:",omitempty"`
+	GuardDropped    int
 }
 
 // report assembles the final Report after a run.
@@ -154,6 +168,7 @@ func (s *System) report() *Report {
 		r.FaultStats = s.board.Summarise()
 	}
 	r.DecommissionedCores = append([]int(nil), s.decommissioned...)
+	r.attachGuard(s.guard)
 	r.ClassTasks = make(map[string]int, 3)
 	r.ClassSlowdown = make(map[string]float64, 3)
 	for _, class := range []workload.Class{workload.HardRT, workload.SoftRT, workload.BestEffort} {
@@ -163,6 +178,61 @@ func (s *System) report() *Report {
 		}
 	}
 	return r
+}
+
+// attachGuard copies the checker's violation tallies into the report.
+func (r *Report) attachGuard(c *guard.Checker) {
+	r.GuardPolicy = c.Policy().String()
+	r.GuardViolations = c.Violations()
+	if r.GuardViolations == 0 {
+		r.GuardCounts, r.GuardRecord, r.GuardDropped = nil, nil, 0
+		return
+	}
+	r.GuardCounts = c.Counts()
+	r.GuardRecord, r.GuardDropped = c.Record()
+}
+
+// Sanity verifies that every headline metric of the report is finite —
+// the last guard between a numerically sick simulation and a rendered
+// experiment table. It reports the first offending field.
+func (r *Report) Sanity() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"ThroughputTasksPerSec", r.ThroughputTasksPerSec},
+		{"MeanDispersion", r.MeanDispersion},
+		{"MeanCoreUtilization", r.MeanCoreUtilization},
+		{"TDPWatts", r.TDPWatts},
+		{"MeanPowerW", r.MeanPowerW},
+		{"PeakPowerW", r.PeakPowerW},
+		{"EnergyJ", r.EnergyJ},
+		{"TestEnergyJ", r.TestEnergyJ},
+		{"TestEnergyShare", r.TestEnergyShare},
+		{"WorstOverW", r.WorstOverW},
+		{"ViolationRate", r.ViolationRate},
+		{"PeakTempK", r.PeakTempK},
+		{"MeanTempK", r.MeanTempK},
+		{"MeanMemRho", r.MeanMemRho},
+		{"PeakMemRho", r.PeakMemRho},
+		{"LevelCoverage", r.LevelCoverage},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("core: report metric %s is %v", c.name, c.v)
+		}
+	}
+	for id, u := range r.PerCoreUtil {
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return fmt.Errorf("core: report metric PerCoreUtil[%d] is %v", id, u)
+		}
+	}
+	for id, st := range r.PerCoreStress {
+		if math.IsNaN(st) || math.IsInf(st, 0) {
+			return fmt.Errorf("core: report metric PerCoreStress[%d] is %v", id, st)
+		}
+	}
+	return nil
 }
 
 func meanTime(xs []sim.Time) sim.Time {
@@ -238,7 +308,25 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  retired  : %d cores decommissioned after detection: %v\n",
 			len(r.DecommissionedCores), r.DecommissionedCores)
 	}
+	if r.GuardViolations > 0 {
+		fmt.Fprintf(&b, "  guard    : %d invariant violations (policy=%s): %s\n",
+			r.GuardViolations, r.GuardPolicy, guardCountsLine(r.GuardCounts))
+	}
 	return b.String()
+}
+
+// guardCountsLine renders per-invariant counts deterministically.
+func guardCountsLine(counts map[string]int) string {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%d", name, counts[name])
+	}
+	return strings.Join(parts, " ")
 }
 
 // LevelHistogram renders the per-level completed-test histogram (E4).

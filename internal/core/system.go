@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 
 	"potsim/internal/aging"
 	"potsim/internal/dvfs"
 	"potsim/internal/eventlog"
 	"potsim/internal/faults"
+	"potsim/internal/guard"
 	"potsim/internal/mapping"
 	"potsim/internal/mem"
 	"potsim/internal/noc"
@@ -132,6 +134,12 @@ type System struct {
 
 	events *eventlog.Log
 
+	// guard evaluates the runtime invariant registry every epoch;
+	// guardPowerCapW is the chip-power runaway ceiling (well above any
+	// physically reachable draw, so only numeric blowups trip it).
+	guard          *guard.Checker
+	guardPowerCapW float64
+
 	// flit-mode co-simulation state (nil in txn mode).
 	flitNet     *noc.Network
 	delivCursor int
@@ -218,6 +226,18 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	gpolicy, err := guard.ParsePolicy(cfg.GuardPolicy)
+	if err != nil {
+		return nil, err
+	}
+	acct, err := power.NewAccountant(cfg.Cores(), cfg.TraceEvery)
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling accountant: %w", err)
+	}
+	budget, err := power.NewBudget(cfg.TDP())
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling budget: %w", err)
+	}
 	s := &System{
 		cfg:        cfg,
 		engine:     sim.NewEngine(),
@@ -227,8 +247,8 @@ func New(cfg Config) (*System, error) {
 		mapper:     mapper,
 		grid:       mapping.NewGrid(cfg.Width, cfg.Height),
 		model:      power.NewModel(cfg.Node),
-		acct:       power.NewAccountant(cfg.Cores(), cfg.TraceEvery),
-		budget:     power.NewBudget(cfg.TDP()),
+		acct:       acct,
+		budget:     budget,
 		capper:     capper,
 		gov:        dvfs.NewGovernor(table),
 		table:      table,
@@ -238,6 +258,14 @@ func New(cfg Config) (*System, error) {
 		events:     eventlog.New(cfg.EventLogCapacity),
 		cores:      make([]coreRuntime, cfg.Cores()),
 		idleEpochs: make([]int64, cfg.Cores()),
+	}
+	s.guard = guard.New(gpolicy)
+	// Chip power can never physically exceed every core at peak draw;
+	// the factor 2 absorbs >1 test activities and hot leakage, so the
+	// ceiling only trips on genuine numeric runaway.
+	s.guardPowerCapW = 2 * float64(cfg.Cores()) * cfg.Node.PeakCorePower()
+	if s.guardPowerCapW < 2*s.budget.TDP {
+		s.guardPowerCapW = 2 * s.budget.TDP
 	}
 	if cfg.GovernorRaceToIdle {
 		s.gov.SetPolicy(dvfs.GovernorRace)
@@ -333,11 +361,14 @@ func (s *System) Run() (*Report, error) {
 	}
 	scheduleArrival(s.engine)
 
-	cancel := s.engine.Every(s.cfg.Epoch, s.cfg.Epoch, func(e *sim.Engine) {
+	cancel, err := s.engine.Every(s.cfg.Epoch, s.cfg.Epoch, func(e *sim.Engine) {
 		if err := s.epoch(e.Now()); err != nil {
 			fail(err)
 		}
 	})
+	if err != nil {
+		return nil, err // unreachable once Validate enforced Epoch > 0
+	}
 	defer cancel()
 
 	s.engine.RunUntil(s.cfg.Horizon)
@@ -358,17 +389,36 @@ func (s *System) Run() (*Report, error) {
 			return nil, cerr
 		}
 	}
-	return s.report(), nil
+	rep := s.report()
+	// Final metric finiteness gate: a NaN that slipped past the epoch
+	// checks (e.g. produced in the last partial interval) must not flow
+	// into experiment tables as a silently poisoned report.
+	if err := rep.Sanity(); err != nil {
+		if gerr := s.guard.Violatef("report.finite", "%v", err); gerr != nil {
+			return nil, gerr
+		}
+		rep.attachGuard(s.guard) // refresh the tally under LogAndContinue
+	}
+	return rep, nil
 }
 
 // epoch is the per-control-period body: integrate the elapsed interval,
 // then make mapping / power / test decisions for the next one.
 func (s *System) epoch(now sim.Time) error {
 	dt := now - s.lastEpochAt
-	if dt <= 0 {
+	if dt < 0 {
+		// The engine fires events in timestamp order, so a backwards
+		// epoch clock means the scheduler state is corrupt.
+		return s.guard.Violatef("clock.monotonic",
+			"epoch clock went backwards: %v -> %v", s.lastEpochAt, now)
+	}
+	if dt == 0 {
 		return nil
 	}
 	if err := s.advance(now, dt); err != nil {
+		return err
+	}
+	if err := s.checkInvariants(now); err != nil {
 		return err
 	}
 	s.lastEpochAt = now
@@ -729,12 +779,98 @@ func (s *System) advance(now sim.Time, dt sim.Time) error {
 	if s.memory != nil {
 		s.memory.EndEpoch()
 	}
-	s.acct.Advance(now, s.budget.TDP)
+	if err := s.acct.Advance(now, s.budget.TDP); err != nil {
+		// The accountant's clock disagreeing with the engine's is the
+		// same corruption class as a backwards epoch; route it through
+		// the guard so the policy decides panic/error/continue.
+		if gerr := s.guard.Violatef("clock.monotonic", "%v", err); gerr != nil {
+			return gerr
+		}
+	}
 	s.budget.Check(s.acct.ChipPower())
 	if err := s.therm.Advance(now, powerVec); err != nil {
 		return err
 	}
 	return s.ager.Advance(now, states)
+}
+
+// checkInvariants evaluates the runtime guard registry after an epoch's
+// integration: chip power finite and below the runaway ceiling, core
+// temperatures inside physical bounds, aging metrics finite, and mapper
+// occupancy consistent with the scheduler/test state. Under the Error
+// policy the first violation aborts the epoch (and therefore the run);
+// under LogAndContinue the violations are tallied into the report.
+func (s *System) checkInvariants(now sim.Time) error {
+	chip := s.acct.ChipPower()
+	if err := s.guard.Checkf("power.finite",
+		!math.IsNaN(chip) && !math.IsInf(chip, 0) && chip >= 0,
+		"chip power %v W at t=%v", chip, now); err != nil {
+		return err
+	}
+	if err := s.guard.Checkf("power.cap", chip <= s.guardPowerCapW,
+		"chip power %.3f W above runaway ceiling %.3f W (TDP %.3f W) at t=%v",
+		chip, s.guardPowerCapW, s.budget.TDP, now); err != nil {
+		return err
+	}
+	// A healthy RC grid can neither undershoot ambient by more than
+	// integration ringing nor melt the die.
+	if terr := s.therm.CheckSane(s.cfg.thermalConfig().AmbientK-5, 1000); terr != nil {
+		if err := s.guard.Violatef("thermal.bounds", "%v at t=%v", terr, now); err != nil {
+			return err
+		}
+	}
+	for id := range s.cores {
+		stress, util := s.ager.Stress(id), s.ager.Utilization(id)
+		if err := s.guard.Checkf("metrics.finite",
+			!math.IsNaN(stress) && !math.IsInf(stress, 0) && stress >= 0 &&
+				!math.IsNaN(util) && !math.IsInf(util, 0) && util >= 0,
+			"core %d aging metrics stress=%v util=%v at t=%v",
+			id, stress, util, now); err != nil {
+			return err
+		}
+		if err := s.checkOccupancy(id, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkOccupancy verifies one core's state machine against the mapper's
+// grid view and the scheduler/test ownership pointers.
+func (s *System) checkOccupancy(id int, now sim.Time) error {
+	cr := &s.cores[id]
+	free := s.grid.Cores[id].Free
+	ok, detail := true, ""
+	switch cr.state {
+	case coreReserved, coreRunning:
+		if cr.task == nil {
+			ok, detail = false, "occupied core has no task"
+		} else if free {
+			ok, detail = false, "occupied core marked free in mapper grid"
+		}
+		if cr.test != nil {
+			ok, detail = false, "occupied core still owns a test execution"
+		}
+	case coreTesting:
+		if cr.test == nil {
+			ok, detail = false, "testing core has no test execution"
+		}
+		if cr.task != nil {
+			ok, detail = false, "testing core still owns a task"
+		}
+	case coreFree:
+		if cr.task != nil || cr.test != nil {
+			ok, detail = false, "free core still owns work"
+		}
+	case coreDead:
+		if cr.task != nil || cr.test != nil {
+			ok, detail = false, "decommissioned core still owns work"
+		} else if free {
+			ok, detail = false, "decommissioned core marked free in mapper grid"
+		}
+	}
+	return s.guard.Checkf("mapper.occupancy", ok,
+		"core %d state=%d: %s at t=%v", id, cr.state, detail, now)
 }
 
 // beginTask fixes the task's effective per-iteration cost now that the
@@ -776,7 +912,15 @@ func (s *System) fireFirstIteration(tr *taskRun, now sim.Time) {
 	if scale < 1 {
 		scale = 1
 	}
-	for succID, flits := range tr.task.CommFlits {
+	// CommFlits is a map; iterate successors in sorted order so flit
+	// injection order (and thus router arbitration) is reproducible.
+	succIDs := make([]int, 0, len(tr.task.CommFlits))
+	for id := range tr.task.CommFlits {
+		succIDs = append(succIDs, id)
+	}
+	sort.Ints(succIDs)
+	for _, succID := range succIDs {
+		flits := tr.task.CommFlits[succID]
 		succ := &app.tasks[succID]
 		if succ.task == nil {
 			continue // defensive; validated graphs always have tasks

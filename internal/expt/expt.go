@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"potsim/internal/batch"
 	"potsim/internal/core"
@@ -65,6 +66,20 @@ type Runner struct {
 	// Progress, when non-nil, is called as an experiment's cells finish
 	// (completion order, serialised per experiment).
 	Progress func(id string, done, total int)
+	// GuardPolicy is forwarded into every cell's configuration:
+	// "panic", "error" or "log" ("" selects the default, error).
+	GuardPolicy string
+	// CellTimeout, when positive, bounds each cell attempt's wall-clock
+	// time; an overrunning cell fails with a batch.TimeoutError while its
+	// siblings complete.
+	CellTimeout time.Duration
+	// Retries and RetryBackoff configure the batch retry budget for
+	// transiently failing cells (see batch.Options).
+	Retries      int
+	RetryBackoff time.Duration
+	// Chaos, when non-nil, injects controlled failures into matching
+	// cells (test/diagnostic use only).
+	Chaos *Chaos
 }
 
 // cell is one independent simulation of an experiment's batch. The
@@ -76,28 +91,90 @@ type cell struct {
 
 // runCells executes the cells through the batch pool and returns their
 // reports in cell order. All failing cells are reported, not only the
-// first.
+// first. On error the report slice is still returned, with nil entries
+// for the cells that failed, so experiments can degrade to partial
+// tables instead of discarding the surviving results.
 func (r *Runner) runCells(id string, cells []cell) ([]*core.Report, error) {
 	ctx := r.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	opts := batch.Options{Workers: r.Workers}
+	opts := batch.Options{
+		Workers:      r.Workers,
+		CellTimeout:  r.CellTimeout,
+		Retries:      r.Retries,
+		RetryBackoff: r.RetryBackoff,
+	}
 	if r.Progress != nil {
 		opts.OnCellDone = func(done, total int) { r.Progress(id, done, total) }
 	}
 	reports, err := batch.Map(ctx, opts, len(cells),
-		func(_ context.Context, i int) (*core.Report, error) {
-			rep, err := r.run(cells[i].cfg)
+		func(cctx context.Context, i int) (*core.Report, error) {
+			rep, err := r.runCell(cctx, cells[i])
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", cells[i].label, err)
 			}
 			return rep, nil
 		})
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", id, err)
+		return reports, fmt.Errorf("%s: %w", id, err)
 	}
 	return reports, nil
+}
+
+// runCell executes one cell, applying chaos injection when configured
+// and gating the result through the report sanity check so a numerically
+// poisoned run surfaces as that cell's failure rather than as NaNs in a
+// rendered table.
+func (r *Runner) runCell(ctx context.Context, c cell) (*core.Report, error) {
+	real := func() (*core.Report, error) { return r.run(c.cfg) }
+	var rep *core.Report
+	var err error
+	if r.Chaos != nil && r.Chaos.matches(c.label) {
+		rep, err = r.Chaos.run(ctx, c.label, real)
+	} else {
+		rep, err = real()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if serr := rep.Sanity(); serr != nil {
+		return nil, fmt.Errorf("report failed post-run sanity: %w", serr)
+	}
+	return rep, nil
+}
+
+// anyNil reports whether any of reports[k:k+n] is missing (failed cell).
+func anyNil(reports []*core.Report, k, n int) bool {
+	for _, rep := range reports[k : k+n] {
+		if rep == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// naRow emits a degraded table row: the label followed by cols "n/a"
+// cells, marking an aggregation group with at least one failed cell.
+func naRow(t *metrics.Table, label any, cols int) {
+	row := make([]any, 0, cols+1)
+	row = append(row, label)
+	for i := 0; i < cols; i++ {
+		row = append(row, "n/a")
+	}
+	t.AddRow(row...)
+}
+
+// skipNA checks the next group of n reports starting at *k: when any of
+// them is missing it emits an n/a row, advances the cursor past the
+// group and reports true.
+func skipNA(t *metrics.Table, reports []*core.Report, k *int, n int, label any, cols int) bool {
+	if !anyNil(reports, *k, n) {
+		return false
+	}
+	*k += n
+	naRow(t, label, cols)
+	return true
 }
 
 // horizon returns the per-run simulated horizon.
@@ -129,6 +206,7 @@ func (r *Runner) run(cfg core.Config) (*core.Report, error) {
 func (r *Runner) baseConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Horizon = r.horizon()
+	cfg.GuardPolicy = r.GuardPolicy
 	return cfg
 }
 
@@ -242,11 +320,11 @@ func (r *Runner) E1() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E1", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, iat := range loads {
+		if skipNA(t, reports, &k, 3*len(r.seeds()), iat.String(), 5) {
+			continue
+		}
 		var penP, penN, util, tputRef, share float64
 		for range r.seeds() {
 			rep, ref, naive := reports[k], reports[k+1], reports[k+2]
@@ -264,7 +342,7 @@ func (r *Runner) E1() (*Result, error) {
 		Title: "System throughput penalty of power-aware online testing (claim: <1% at 16nm)",
 		Table: t,
 		Extra: "Shape check: POTS penalty stays below 1% at every load (claim C1). The\npower-unaware baseline's penalty is larger once the budget binds (see E9 for\nthe full budget sweep).\n",
-	}, nil
+	}, err
 }
 
 // E2 — power trace: workload + test power under the TDP (C2, C3, C7).
@@ -273,13 +351,16 @@ func (r *Runner) E2() (*Result, error) {
 	cfg.Seed = r.seeds()[0]
 	cfg.TraceEvery = 5 * sim.Millisecond
 	reports, err := r.runCells("E2", []cell{{label: "trace", cfg: cfg}})
-	if err != nil {
-		return nil, err
-	}
-	rep := reports[0]
 	t := metrics.NewTable(
 		"E2: chip power trace under dynamic power budgeting",
 		"t(ms)", "workload(W)", "test(W)", "total(W)", "TDP(W)")
+	rep := reports[0]
+	if rep == nil {
+		naRow(t, "n/a", 4)
+		return &Result{ID: "E2",
+			Title: "Power trace: tests carved from the slack under the TDP",
+			Table: t, Extra: "trace cell failed; no data\n"}, err
+	}
 	for _, p := range rep.Trace {
 		t.AddRow(p.At.Millis(), p.Workload, p.Test, p.Total(), p.Budget)
 	}
@@ -290,7 +371,7 @@ func (r *Runner) E2() (*Result, error) {
 		rep.TDPViolations, 100*rep.ViolationRate, 100*rep.TestEnergyShare)
 	return &Result{ID: "E2",
 		Title: "Power trace: tests carved from the slack under the TDP",
-		Table: t, Extra: extra}, nil
+		Table: t, Extra: extra}, err
 }
 
 // E3 — test-interval adaptation to core stress/utilization (C4).
@@ -301,10 +382,16 @@ func (r *Runner) E3() (*Result, error) {
 		cfg.Horizon = sim.Second
 	}
 	reports, err := r.runCells("E3", []cell{{label: "stress", cfg: cfg}})
-	if err != nil {
-		return nil, err
-	}
 	rep := reports[0]
+	if rep == nil {
+		t := metrics.NewTable(
+			"E3: per-core test intensity follows stress (top/bottom 8 cores by stress)",
+			"core", "stress", "util-ewma", "idle-frac", "tests", "tests-per-idle-sec")
+		naRow(t, "n/a", 5)
+		return &Result{ID: "E3",
+			Title: "Criticality metric adapts test frequency to core stress/utilization",
+			Table: t, Extra: "stress cell failed; no data\n"}, err
+	}
 	type row struct {
 		id         int
 		stress     float64
@@ -349,7 +436,7 @@ func (r *Runner) E3() (*Result, error) {
 		hi/float64(half), lo/float64(len(rows)-half))
 	return &Result{ID: "E3",
 		Title: "Criticality metric adapts test frequency to core stress/utilization",
-		Table: t, Extra: extra}, nil
+		Table: t, Extra: extra}, err
 }
 
 // E4 — DVFS level coverage of executed tests (C5).
@@ -357,14 +444,17 @@ func (r *Runner) E4() (*Result, error) {
 	cfg := r.baseConfig()
 	cfg.Seed = r.seeds()[0]
 	reports, err := r.runCells("E4", []cell{{label: "coverage", cfg: cfg}})
-	if err != nil {
-		return nil, err
-	}
-	rep := reports[0]
 	pts := cfg.Node.OperatingPoints(cfg.DVFSLevels)
 	t := metrics.NewTable(
 		"E4: completed tests per DVFS operating point",
 		"level", "V(V)", "f(GHz)", "tests")
+	rep := reports[0]
+	if rep == nil {
+		naRow(t, "n/a", 3)
+		return &Result{ID: "E4",
+			Title: "Tests cover all voltage/frequency levels",
+			Table: t, Extra: "coverage cell failed; no data\n"}, err
+	}
 	for lvl, n := range rep.LevelRuns {
 		t.AddRow(lvl, pts[lvl].Voltage, pts[lvl].FreqHz/1e9, n)
 	}
@@ -372,7 +462,7 @@ func (r *Runner) E4() (*Result, error) {
 		100*rep.LevelCoverage, rep.LevelHistogram())
 	return &Result{ID: "E4",
 		Title: "Tests cover all voltage/frequency levels",
-		Table: t, Extra: extra}, nil
+		Table: t, Extra: extra}, err
 }
 
 // E5 — mapping-policy comparison (C6).
@@ -393,11 +483,11 @@ func (r *Runner) E5() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E5", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, m := range mappers {
+		if skipNA(t, reports, &k, len(r.seeds()), m, 6) {
+			continue
+		}
 		var a agg
 		for range r.seeds() {
 			a.add(reports[k])
@@ -410,7 +500,7 @@ func (r *Runner) E5() (*Result, error) {
 		Title: "Test-aware utilization-oriented mapping vs baselines",
 		Table: t,
 		Extra: "Shape check: among contiguous mappers, TUM completes at least as many tests\nwith shorter, steadier test intervals at comparable throughput. FF packs more\ntasks by scattering, but fragments the chip: fewer tests, longer intervals,\nmore preempted tests.\n",
-	}, nil
+	}, err
 }
 
 // E6 — scalability over mesh sizes.
@@ -438,11 +528,12 @@ func (r *Runner) E6() (*Result, error) {
 			label: fmt.Sprintf("mesh=%dx%d", sz.w, sz.h), cfg: cfg})
 	}
 	reports, err := r.runCells("E6", cells)
-	if err != nil {
-		return nil, err
-	}
 	for i, sz := range sizes {
 		rep := reports[i]
+		if rep == nil {
+			naRow(t, fmt.Sprintf("%dx%d", sz.w, sz.h), 6)
+			continue
+		}
 		cores := sz.w * sz.h
 		t.AddRow(fmt.Sprintf("%dx%d", sz.w, sz.h), cores,
 			rep.ThroughputTasksPerSec,
@@ -452,7 +543,7 @@ func (r *Runner) E6() (*Result, error) {
 	}
 	return &Result{ID: "E6",
 		Title: "Scalability: per-core throughput and test overhead across mesh sizes",
-		Table: t}, nil
+		Table: t}, err
 }
 
 // E7 — technology sweep: dark silicon and the test opportunity.
@@ -493,11 +584,12 @@ func (r *Runner) E7() (*Result, error) {
 		cells = append(cells, cell{label: "node=" + d.name, cfg: cfg})
 	}
 	reports, err := r.runCells("E7", cells)
-	if err != nil {
-		return nil, err
-	}
 	for i, d := range dies {
 		rep := reports[i]
+		if rep == nil {
+			naRow(t, d.name, 6)
+			continue
+		}
 		cores := d.w * d.h
 		t.AddRow(d.name, cores, 100*cells[i].cfg.Node.DarkFraction(packageTDP, cores),
 			rep.ThroughputTasksPerSec, rep.MeanCoreUtilization,
@@ -505,7 +597,7 @@ func (r *Runner) E7() (*Result, error) {
 	}
 	return &Result{ID: "E7",
 		Title: "Dark-silicon fraction grows with scaling; idle+power slack feeds testing",
-		Table: t}, nil
+		Table: t}, err
 }
 
 // E8 — fault detection under injected faults.
@@ -532,11 +624,11 @@ func (r *Runner) E8() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E8", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, pol := range policies {
+		if skipNA(t, reports, &k, len(r.seeds()), string(pol), 6) {
+			continue
+		}
 		var inj, det, esc, corr, lat float64
 		for range r.seeds() {
 			rep := reports[k]
@@ -559,7 +651,7 @@ func (r *Runner) E8() (*Result, error) {
 		Title: "Detection latency and escapes: online testing vs no testing",
 		Table: t,
 		Extra: "Shape check: any online-testing policy detects most faults while NoTest\ndetects none and accumulates silent corruptions.\n",
-	}, nil
+	}, err
 }
 
 // E9 — sensitivity to the power budget (C2, C7).
@@ -591,11 +683,11 @@ func (r *Runner) E9() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E9", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, f := range fracs {
+		if skipNA(t, reports, &k, 3*len(r.seeds()), f, 8) {
+			continue
+		}
 		var penP, penN, tput, done, skips, violP, violN float64
 		var tdp float64
 		for range r.seeds() {
@@ -616,7 +708,7 @@ func (r *Runner) E9() (*Result, error) {
 	}
 	return &Result{ID: "E9",
 		Title: "Budget sensitivity: POTS skips tests under tight TDPs instead of violating",
-		Table: t}, nil
+		Table: t}, err
 }
 
 // E10 — ablations of the POTS design points.
@@ -648,11 +740,11 @@ func (r *Runner) E10() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E10", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, v := range variants {
+		if skipNA(t, reports, &k, len(r.seeds()), v.name, 6) {
+			continue
+		}
 		var a agg
 		var cov float64
 		for range r.seeds() {
@@ -668,7 +760,7 @@ func (r *Runner) E10() (*Result, error) {
 	return &Result{ID: "E10",
 		Title: "Ablation: criticality economises test energy, rotation earns level coverage, power-awareness defers tests under pressure",
 		Table: t,
-		Extra: "Shape check: without criticality the scheduler burns ~10x test energy for the\nsame coverage; without rotation only the top level is ever validated; without\npower-awareness no launch is ever deferred, whatever the budget says.\n"}, nil
+		Extra: "Shape check: without criticality the scheduler burns ~10x test energy for the\nsame coverage; without rotation only the top level is ever validated; without\npower-awareness no launch is ever deferred, whatever the budget says.\n"}, err
 }
 
 // techByName resolves a technology node (thin wrapper keeping the tech
@@ -698,11 +790,14 @@ func (r *Runner) E11() (*Result, error) {
 		cells = append(cells, cell{label: "mode=" + mode, cfg: cfg})
 	}
 	reports, err := r.runCells("E11", cells)
-	if err != nil {
-		return nil, err
-	}
+	degraded := false
 	for i, mode := range modes {
 		rep := reports[i]
+		if rep == nil {
+			naRow(t, mode, 4)
+			degraded = true
+			continue
+		}
 		t.AddRow(mode, rep.TasksCompleted, rep.TestsCompleted,
 			rep.MeanPowerW, rep.MeanCoreUtilization)
 		if mode == "txn" {
@@ -711,15 +806,18 @@ func (r *Runner) E11() (*Result, error) {
 			flit = outcome{rep.TasksCompleted, rep.TestsCompleted}
 		}
 	}
-	dev := 0.0
-	if txn.tasks > 0 {
-		dev = 100 * absf(float64(flit.tasks-txn.tasks)) / float64(txn.tasks)
+	extra := "task-throughput deviation: n/a (a validation cell failed)\n"
+	if !degraded {
+		dev := 0.0
+		if txn.tasks > 0 {
+			dev = 100 * absf(float64(flit.tasks-txn.tasks)) / float64(txn.tasks)
+		}
+		extra = fmt.Sprintf("task-throughput deviation: %.1f%% (the analytic model is the\n"+
+			"long-run stand-in for the wormhole network; see DESIGN.md substitutions)\n", dev)
 	}
-	extra := fmt.Sprintf("task-throughput deviation: %.1f%% (the analytic model is the\n"+
-		"long-run stand-in for the wormhole network; see DESIGN.md substitutions)\n", dev)
 	return &Result{ID: "E11",
 		Title: "Analytic NoC model vs flit-level wormhole co-simulation",
-		Table: t, Extra: extra}, nil
+		Table: t, Extra: extra}, err
 }
 
 func absf(x float64) float64 {
@@ -750,11 +848,15 @@ func (r *Runner) E12() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E12", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, aware := range cappers {
+		name := "class-aware"
+		if !aware {
+			name = "class-blind"
+		}
+		if skipNA(t, reports, &k, len(r.seeds()), name, 6) {
+			continue
+		}
 		var sh, ss, sb float64
 		var th, ts, tb float64
 		n := 0
@@ -769,17 +871,13 @@ func (r *Runner) E12() (*Result, error) {
 			tb += float64(rep.ClassTasks["best-effort"])
 			n++
 		}
-		name := "class-aware"
-		if !aware {
-			name = "class-blind"
-		}
 		fn := float64(n)
 		t.AddRow(name, sh/fn, ss/fn, sb/fn, th/fn, ts/fn, tb/fn)
 	}
 	return &Result{ID: "E12",
 		Title: "Mixed criticality: hard real-time work is throttled last (ICCD'14 substrate)",
 		Table: t,
-		Extra: "Shape check: with the class-aware capper, hard-RT slowdown drops below its\nclass-blind value while best-effort absorbs at least as much throttling.\n"}, nil
+		Extra: "Shape check: with the class-aware capper, hard-RT slowdown drops below its\nclass-blind value while best-effort absorbs at least as much throttling.\n"}, err
 }
 
 // E13 — wear leveling and lifetime: the group's follow-up question ("can
@@ -807,11 +905,11 @@ func (r *Runner) E13() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E13", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, m := range mappers {
+		if skipNA(t, reports, &k, len(r.seeds()), m, 5) {
+			continue
+		}
 		var mean, max, imb, std, tput float64
 		n := 0
 		for range r.seeds() {
@@ -842,7 +940,7 @@ func (r *Runner) E13() (*Result, error) {
 	return &Result{ID: "E13",
 		Title: "Wear leveling: utilization-aware mapping spreads aging across the die",
 		Table: t,
-		Extra: "Shape check: the contiguous, utilization-aware mappers (TUM/NN/CoNA) end\nwith clearly lower maximum stress than FF, which concentrates wear on the\nlow-index corner; TUM has the lowest mean stress. The TUM-vs-NN gap is\nnoise-level at this horizon. (NBTI idle recovery is active, so resting a\ncore pays off.)\n"}, nil
+		Extra: "Shape check: the contiguous, utilization-aware mappers (TUM/NN/CoNA) end\nwith clearly lower maximum stress than FF, which concentrates wear on the\nlow-index corner; TUM has the lowest mean stress. The TUM-vs-NN gap is\nnoise-level at this horizon. (NBTI idle recovery is active, so resting a\ncore pays off.)\n"}, err
 }
 
 func sqrtf(x float64) float64 {
@@ -881,11 +979,11 @@ func (r *Runner) E14() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E14", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, base := range intervals {
+		if skipNA(t, reports, &k, len(r.seeds()), base.String(), 5) {
+			continue
+		}
 		var done, share, rate, lat, corr float64
 		n := 0
 		for range r.seeds() {
@@ -904,7 +1002,7 @@ func (r *Runner) E14() (*Result, error) {
 	return &Result{ID: "E14",
 		Title: "Test-intensity knob: energy vs detection latency (the curve the 2% claim sits on)",
 		Table: t,
-		Extra: "Shape check: shorter target intervals buy faster detection and fewer silent\ncorruptions at higher test energy; the curve is monotone in both directions.\n"}, nil
+		Extra: "Shape check: shorter target intervals buy faster detection and fewer silent\ncorruptions at higher test energy; the curve is monotone in both directions.\n"}, err
 }
 
 // E15 — governor policy: energy-proportional (eco) vs race-to-idle under
@@ -926,11 +1024,15 @@ func (r *Runner) E15() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E15", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, race := range governors {
+		name := "eco"
+		if race {
+			name = "race-to-idle"
+		}
+		if skipNA(t, reports, &k, len(r.seeds()), name, 5) {
+			continue
+		}
 		var tput, power, ept, viol, share float64
 		n := 0
 		for range r.seeds() {
@@ -945,17 +1047,13 @@ func (r *Runner) E15() (*Result, error) {
 			share += rep.TestEnergyShare
 			n++
 		}
-		name := "eco"
-		if race {
-			name = "race-to-idle"
-		}
 		fn := float64(n)
 		t.AddRow(name, tput/fn, power/fn, ept/fn, 100*viol/fn, 100*share/fn)
 	}
 	return &Result{ID: "E15",
 		Title: "Eco vs race-to-idle: energy proportionality is what funds the test budget",
 		Table: t,
-		Extra: "Shape check: race-to-idle buys throughput by ignoring demand, at a higher\nenergy per task and massive cap violations; the eco governor honours the TDP\nand its headroom is exactly the slack POTS tests in.\n"}, nil
+		Extra: "Shape check: race-to-idle buys throughput by ignoring demand, at a higher\nenergy per task and massive cap violations; the eco governor honours the TDP\nand its headroom is exactly the slack POTS tests in.\n"}, err
 }
 
 // E16 — analysis vs simulation: the closed-form interval predictor
@@ -982,11 +1080,11 @@ func (r *Runner) E16() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E16", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, iat := range loads {
+		if skipNA(t, reports, &k, len(r.seeds()), iat.String(), 5) {
+			continue
+		}
 		var idle, admit, measured, targetMS float64
 		n := 0
 		var cfg core.Config
@@ -1037,7 +1135,7 @@ func (r *Runner) E16() (*Result, error) {
 	return &Result{ID: "E16",
 		Title: "Closed-form capacity model vs simulation (demand/supply argument)",
 		Table: t,
-		Extra: "Shape check: the closed form captures the demand/supply structure and the\nload trend within a factor ~2. The systematic underestimate is the busy-\nresidual wait it does not model: a core that becomes due mid-task cannot be\ntested (non-intrusiveness) until its task completes, adding roughly half a\ntask length to every interval.\n"}, nil
+		Extra: "Shape check: the closed form captures the demand/supply structure and the\nload trend within a factor ~2. The systematic underestimate is the busy-\nresidual wait it does not model: a core that becomes due mid-task cannot be\ntested (non-intrusiveness) until its task completes, adding roughly half a\ntask length to every interval.\n"}, err
 }
 
 // E17 — the off-chip memory bottleneck (DFTS'15 observation): throughput
@@ -1060,11 +1158,11 @@ func (r *Runner) E17() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E17", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, mc := range counts {
+		if skipNA(t, reports, &k, len(r.seeds()), mc, 5) {
+			continue
+		}
 		var tput, meanRho, peakRho, share, util float64
 		n := 0
 		for range r.seeds() {
@@ -1083,7 +1181,7 @@ func (r *Runner) E17() (*Result, error) {
 	return &Result{ID: "E17",
 		Title: "Shared-memory bottleneck: fewer controllers, hotter queues, lower throughput",
 		Table: t,
-		Extra: "Shape check: throughput falls and controller utilisation rises monotonically\nas controllers are removed; ideal memory (0) bounds the achievable rate.\n"}, nil
+		Extra: "Shape check: throughput falls and controller utilisation rises monotonically\nas controllers are removed; ideal memory (0) bounds the achievable rate.\n"}, err
 }
 
 // E18 — test segmentation (TC'16 chunking): routine granularity vs abort
@@ -1107,11 +1205,15 @@ func (r *Runner) E18() (*Result, error) {
 		}
 	}
 	reports, err := r.runCells("E18", cells)
-	if err != nil {
-		return nil, err
-	}
 	k := 0
 	for _, g := range grains {
+		label := "off"
+		if g > 0 {
+			label = fmt.Sprintf("%dk", g/1000)
+		}
+		if skipNA(t, reports, &k, len(r.seeds()), label, 5) {
+			continue
+		}
 		var started, done, aborted, share float64
 		n := 0
 		for range r.seeds() {
@@ -1128,14 +1230,10 @@ func (r *Runner) E18() (*Result, error) {
 		if started > 0 {
 			waste = 100 * aborted / started
 		}
-		label := "off"
-		if g > 0 {
-			label = fmt.Sprintf("%dk", g/1000)
-		}
 		t.AddRow(label, started/fn, done/fn, aborted/fn, waste, 100*share/fn)
 	}
 	return &Result{ID: "E18",
 		Title: "Segmented tests survive preemption: smaller chunks, less wasted test work",
 		Table: t,
-		Extra: "Shape check: abort waste falls monotonically with the segment size while\ncompleted test work rises; coverage accounting is preserved across segments\n(each segment carries its share of the routine's fault coverage).\n"}, nil
+		Extra: "Shape check: abort waste falls monotonically with the segment size while\ncompleted test work rises; coverage accounting is preserved across segments\n(each segment carries its share of the routine's fault coverage).\n"}, err
 }

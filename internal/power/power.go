@@ -89,16 +89,16 @@ func (p TracePoint) Total() float64 { return p.Workload + p.Test }
 
 // NewAccountant creates an accountant for the given core count. traceEvery
 // controls trace decimation; zero disables tracing.
-func NewAccountant(cores int, traceEvery sim.Time) *Accountant {
+func NewAccountant(cores int, traceEvery sim.Time) (*Accountant, error) {
 	if cores <= 0 {
-		panic(fmt.Sprintf("power: invalid core count %d", cores))
+		return nil, fmt.Errorf("power: invalid core count %d", cores)
 	}
 	return &Accountant{
 		cores:      cores,
 		workload:   make([]Breakdown, cores),
 		test:       make([]Breakdown, cores),
 		traceEvery: traceEvery,
-	}
+	}, nil
 }
 
 // SetWorkload records the workload (or idle) power of core id. The value
@@ -137,11 +137,13 @@ func (a *Accountant) CorePower(id int) float64 {
 
 // Advance integrates energy forward to time now, assuming the per-core
 // powers set since the previous Advance were constant over the interval,
-// and appends a trace sample when due. budget is the TDP in effect.
-func (a *Accountant) Advance(now sim.Time, budget float64) {
+// and appends a trace sample when due. budget is the TDP in effect. A
+// non-monotonic clock is reported as an error (the caller decides the
+// violation policy), leaving the accountant's state untouched.
+func (a *Accountant) Advance(now sim.Time, budget float64) error {
 	dt := (now - a.lastAt).Seconds()
 	if dt < 0 {
-		panic(fmt.Sprintf("power: time went backwards: %v -> %v", a.lastAt, now))
+		return fmt.Errorf("power: time went backwards: %v -> %v", a.lastAt, now)
 	}
 	wl, tst := a.WorkloadPower(), a.TestPower()
 	total := wl + tst
@@ -157,6 +159,7 @@ func (a *Accountant) Advance(now sim.Time, budget float64) {
 		a.trace = append(a.trace, TracePoint{At: now, Workload: wl, Test: tst, Budget: budget})
 		a.lastTraceAt = now
 	}
+	return nil
 }
 
 // EnergyJ returns total chip energy in joules since the start.
@@ -201,11 +204,11 @@ type Budget struct {
 }
 
 // NewBudget returns a budget with the given TDP in watts.
-func NewBudget(tdpW float64) *Budget {
-	if tdpW <= 0 {
-		panic(fmt.Sprintf("power: invalid TDP %v", tdpW))
+func NewBudget(tdpW float64) (*Budget, error) {
+	if tdpW <= 0 || math.IsInf(tdpW, 0) || math.IsNaN(tdpW) {
+		return nil, fmt.Errorf("power: invalid TDP %v", tdpW)
 	}
-	return &Budget{TDP: tdpW}
+	return &Budget{TDP: tdpW}, nil
 }
 
 // Headroom returns TDP minus the given chip power, never negative.

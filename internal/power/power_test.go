@@ -52,8 +52,26 @@ func TestBreakdownAdd(t *testing.T) {
 	}
 }
 
+func mustAccountant(t *testing.T, cores int, every sim.Time) *Accountant {
+	t.Helper()
+	a, err := NewAccountant(cores, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustBudget(t *testing.T, tdp float64) *Budget {
+	t.Helper()
+	b, err := NewBudget(tdp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func TestAccountantEnergyIntegration(t *testing.T) {
-	a := NewAccountant(2, 0)
+	a := mustAccountant(t, 2, 0)
 	a.SetWorkload(0, Breakdown{Dynamic: 1.0})
 	a.SetWorkload(1, Breakdown{Leakage: 0.5})
 	a.Advance(sim.Second, 10) // 1.5 W for 1 s
@@ -77,7 +95,7 @@ func TestAccountantEnergyIntegration(t *testing.T) {
 }
 
 func TestAccountantPeak(t *testing.T) {
-	a := NewAccountant(1, 0)
+	a := mustAccountant(t, 1, 0)
 	a.SetWorkload(0, Breakdown{Dynamic: 1})
 	a.Advance(sim.Millisecond, 10)
 	a.SetWorkload(0, Breakdown{Dynamic: 5})
@@ -91,7 +109,7 @@ func TestAccountantPeak(t *testing.T) {
 }
 
 func TestAccountantTraceDecimation(t *testing.T) {
-	a := NewAccountant(1, sim.Millisecond)
+	a := mustAccountant(t, 1, sim.Millisecond)
 	a.SetWorkload(0, Breakdown{Dynamic: 1})
 	for i := 1; i <= 100; i++ {
 		a.Advance(sim.Time(i)*100*sim.Microsecond, 10) // 10 ms total
@@ -110,19 +128,23 @@ func TestAccountantTraceDecimation(t *testing.T) {
 	}
 }
 
-func TestAccountantBackwardsTimePanics(t *testing.T) {
-	a := NewAccountant(1, 0)
-	a.Advance(sim.Second, 10)
-	defer func() {
-		if recover() == nil {
-			t.Error("Advance backwards should panic")
-		}
-	}()
-	a.Advance(sim.Millisecond, 10)
+func TestAccountantBackwardsTimeErrors(t *testing.T) {
+	a := mustAccountant(t, 1, 0)
+	if err := a.Advance(sim.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Advance(sim.Millisecond, 10); err == nil {
+		t.Error("Advance backwards should error")
+	}
+	// The failed advance must not have corrupted the accountant: moving
+	// forward again still works and integrates from the last good time.
+	if err := a.Advance(2*sim.Second, 10); err != nil {
+		t.Errorf("recovery advance failed: %v", err)
+	}
 }
 
 func TestBudgetHeadroom(t *testing.T) {
-	b := NewBudget(20)
+	b := mustBudget(t, 20)
 	if got := b.Headroom(15); got != 5 {
 		t.Errorf("Headroom(15) = %v, want 5", got)
 	}
@@ -132,7 +154,7 @@ func TestBudgetHeadroom(t *testing.T) {
 }
 
 func TestBudgetViolations(t *testing.T) {
-	b := NewBudget(20)
+	b := mustBudget(t, 20)
 	if b.Check(20.05) { // within 0.5% tolerance
 		t.Error("power within tolerance flagged as violation")
 	}
@@ -152,29 +174,30 @@ func TestBudgetViolations(t *testing.T) {
 	}
 }
 
-func TestNewBudgetRejectsNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewBudget(0) should panic")
+func TestNewBudgetRejectsInvalid(t *testing.T) {
+	for _, tdp := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		if _, err := NewBudget(tdp); err == nil {
+			t.Errorf("NewBudget(%v) accepted", tdp)
 		}
-	}()
-	NewBudget(0)
+	}
 }
 
 func TestNewAccountantRejectsNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewAccountant(0) should panic")
+	for _, cores := range []int{0, -1} {
+		if _, err := NewAccountant(cores, 0); err == nil {
+			t.Errorf("NewAccountant(%d) accepted", cores)
 		}
-	}()
-	NewAccountant(0, 0)
+	}
 }
 
 // Property: chip power equals the sum over cores of workload+test power,
 // and energy share stays within [0,1].
 func TestAccountantConsistencyProperty(t *testing.T) {
 	prop := func(wl, tst [8]uint8) bool {
-		a := NewAccountant(8, 0)
+		a, err := NewAccountant(8, 0)
+		if err != nil {
+			return false
+		}
 		sum := 0.0
 		for i := 0; i < 8; i++ {
 			w := float64(wl[i]) / 100

@@ -161,10 +161,12 @@ func (e *Engine) Run() {
 
 // Every schedules handler periodically, first at start and then each
 // period, until the returned cancel function is invoked. The handler may
-// call the cancel function itself to end the series.
-func (e *Engine) Every(start, period Time, handler Handler) (cancel func()) {
+// call the cancel function itself to end the series. A non-positive
+// period is rejected with an error (a silent zero period would spin the
+// event loop forever at one instant).
+func (e *Engine) Every(start, period Time, handler Handler) (cancel func(), err error) {
 	if period <= 0 {
-		panic("sim: Every requires a positive period")
+		return nil, fmt.Errorf("sim: Every requires a positive period, got %v", period)
 	}
 	stopped := false
 	var id EventID
@@ -179,13 +181,13 @@ func (e *Engine) Every(start, period Time, handler Handler) (cancel func()) {
 		}
 		id = en.After(period, tick)
 	}
-	var err error
-	id, err = e.Schedule(start, tick)
-	if err != nil {
+	var serr error
+	id, serr = e.Schedule(start, tick)
+	if serr != nil {
 		id = e.After(0, tick)
 	}
 	return func() {
 		stopped = true
 		e.Cancel(id)
-	}
+	}, nil
 }

@@ -94,24 +94,39 @@ func TestEngineEvery(t *testing.T) {
 	e := NewEngine()
 	ticks := 0
 	var cancel func()
-	cancel = e.Every(0, 10*Microsecond, func(*Engine) {
+	cancel, err := e.Every(0, 10*Microsecond, func(*Engine) {
 		ticks++
 		if ticks == 5 {
 			cancel()
 		}
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.RunUntil(Second)
 	if ticks != 5 {
 		t.Errorf("ticks = %d, want 5", ticks)
 	}
 }
 
+func TestEngineEveryRejectsNonPositivePeriod(t *testing.T) {
+	e := NewEngine()
+	for _, period := range []Time{0, -Microsecond} {
+		if _, err := e.Every(0, period, func(*Engine) {}); err == nil {
+			t.Errorf("Every with period %v accepted", period)
+		}
+	}
+}
+
 func TestEngineEveryAlignment(t *testing.T) {
 	e := NewEngine()
 	var at []Time
-	cancel := e.Every(5*Microsecond, 10*Microsecond, func(en *Engine) {
+	cancel, err := e.Every(5*Microsecond, 10*Microsecond, func(en *Engine) {
 		at = append(at, en.Now())
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer cancel()
 	e.RunUntil(36 * Microsecond)
 	want := []Time{5 * Microsecond, 15 * Microsecond, 25 * Microsecond, 35 * Microsecond}

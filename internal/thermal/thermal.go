@@ -163,6 +163,25 @@ func (g *Grid) step(dt float64, powerW []float64) {
 	copy(g.tempK, g.scratch)
 }
 
+// CheckSane reports the first core whose temperature is non-finite or
+// outside [minK, maxK] — the physical-plausibility invariant the runtime
+// guard evaluates every epoch. A healthy RC integration can never leave
+// these bounds; an escape means the forward-Euler step went unstable or
+// a NaN power draw was fed in.
+func (g *Grid) CheckSane(minK, maxK float64) error {
+	for id, t := range g.tempK {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < minK || t > maxK {
+			return fmt.Errorf("thermal: core %d at %v K outside [%v, %v] K", id, t, minK, maxK)
+		}
+	}
+	return nil
+}
+
+// Poison overwrites core id's temperature with an arbitrary value,
+// bypassing the integrator. It exists solely so guard tests can seed a
+// physically impossible state; production code never calls it.
+func (g *Grid) Poison(id int, tempK float64) { g.tempK[id] = tempK }
+
 // SteadyStateUniform returns the analytic steady-state temperature when
 // every core dissipates the same power p: lateral flows cancel, so
 // T = ambient + p * RVertical. Used by tests as an oracle.

@@ -160,3 +160,28 @@ func TestMeanAndMaxTemperature(t *testing.T) {
 			g.MaxTemperature(), g.MeanTemperature())
 	}
 }
+
+func TestCheckSane(t *testing.T) {
+	g, err := NewGrid(DefaultConfig(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckSane(313, 1000); err != nil {
+		t.Fatalf("fresh grid failed sanity: %v", err)
+	}
+	for name, v := range map[string]float64{
+		"nan":     math.NaN(),
+		"inf":     math.Inf(1),
+		"melted":  1500,
+		"subzero": 100,
+	} {
+		g.Poison(5, v)
+		if err := g.CheckSane(313, 1000); err == nil {
+			t.Errorf("%s temperature passed sanity", name)
+		}
+		g.Poison(5, DefaultConfig(4, 4).AmbientK)
+	}
+	if err := g.CheckSane(313, 1000); err != nil {
+		t.Fatalf("restored grid failed sanity: %v", err)
+	}
+}
