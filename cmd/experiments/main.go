@@ -17,15 +17,19 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"potsim/internal/checkpoint"
 	"potsim/internal/expt"
 	"potsim/internal/guard"
 )
@@ -40,10 +44,17 @@ func (l *idList) Set(v string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	if errors.Is(err, context.Canceled) {
+		// Interrupted by SIGINT/SIGTERM: partial tables and the journal
+		// were flushed; re-run with -resume to pick up where this left off.
+		os.Exit(130)
+	}
+	os.Exit(1)
 }
 
 func run(args []string) error {
@@ -62,8 +73,14 @@ func run(args []string) error {
 	cellTimeout := fs.Duration("cell-timeout", 0, "wall-clock deadline per simulation cell (0 = none)")
 	retries := fs.Int("retries", 0, "extra attempts for transiently failing cells")
 	retryBackoff := fs.Duration("retry-backoff", 0, "pause before the first retry (doubles per retry)")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for durable suite state: per-experiment journals of completed cells and mid-cell snapshots")
+	ckptEvery := fs.Int64("checkpoint-every", 0, "epochs between mid-cell snapshots (0 = journal whole cells only; needs -checkpoint-dir)")
+	resume := fs.Bool("resume", false, "skip cells journaled as complete in -checkpoint-dir and continue interrupted cells from their snapshots")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir")
 	}
 	if _, err := guard.ParsePolicy(*guardPolicy); err != nil {
 		return err
@@ -85,14 +102,22 @@ func run(args []string) error {
 		*workers = 0
 	}
 
+	// SIGINT/SIGTERM cancel the batch context: in-flight cells stop at
+	// their next epoch boundary, workers drain, journals and partial
+	// tables flush, and the process exits with code 130.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	// cells tracks each experiment's batch size as reported by the
 	// runner's progress callback (experiments run concurrently).
 	var mu sync.Mutex
 	cells := map[string]int{}
 	runner := &expt.Runner{
-		Quick: *quick, BaseSeed: *seed, Workers: *workers,
+		Quick: *quick, BaseSeed: *seed, Workers: *workers, Ctx: ctx,
 		GuardPolicy: *guardPolicy, Chaos: chaos,
 		CellTimeout: *cellTimeout, Retries: *retries, RetryBackoff: *retryBackoff,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
 	}
 	runner.Progress = func(id string, done, total int) {
 		mu.Lock()
@@ -159,13 +184,23 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments degraded or failed: %s\n",
 			len(failed), len(ids), strings.Join(failed, ", "))
 	}
+	if ctx.Err() != nil {
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr,
+				"experiments: interrupted; completed cells are journaled in %s — re-run with -resume to continue\n", *ckptDir)
+		}
+		errs = append(errs, fmt.Errorf("interrupted: %w", ctx.Err()))
+	}
 	return errors.Join(errs...)
 }
 
+// writeCSV flushes one experiment's table atomically (temp file +
+// rename), so a reader — or a crash mid-write — can never observe a
+// half-written results file.
 func writeCSV(dir string, res *expt.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(dir, strings.ToLower(res.ID)+".csv")
-	return os.WriteFile(path, []byte(res.Table.CSV()), 0o644)
+	return checkpoint.WriteFileAtomic(path, []byte(res.Table.CSV()), 0o644)
 }

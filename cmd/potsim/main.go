@@ -13,13 +13,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"potsim/internal/checkpoint"
 	"potsim/internal/core"
 	"potsim/internal/sim"
 	"potsim/internal/tech"
@@ -28,10 +34,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "potsim:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "potsim:", err)
+	if errors.Is(err, core.ErrInterrupted) {
+		// Graceful SIGINT/SIGTERM shutdown: the run stopped at an epoch
+		// boundary (and, with -checkpoint-dir, flushed a final snapshot).
+		os.Exit(130)
+	}
+	os.Exit(1)
 }
 
 func run(args []string) error {
@@ -61,6 +74,9 @@ func run(args []string) error {
 		jsonOut  = fs.Bool("json", false, "emit the full report as JSON instead of text")
 		hist     = fs.Bool("levels-hist", false, "print the per-level test histogram")
 		heat     = fs.Bool("heatmaps", false, "print per-core stress/test/utilization heatmaps")
+		ckptDir  = fs.String("checkpoint-dir", "", "directory for the run's durable snapshot (interrupts become resumable)")
+		ckptEvry = fs.Int64("checkpoint-every", 0, "epochs between periodic snapshots (0 = snapshot only on interrupt; needs -checkpoint-dir)")
+		resume   = fs.Bool("resume", false, "continue from the snapshot in -checkpoint-dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,27 +130,76 @@ func run(args []string) error {
 		cfg.Burst = workload.DefaultBurstiness()
 	}
 
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir")
+	}
+
 	sys, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
+
+	var ckptPath string
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+		ckptPath = filepath.Join(*ckptDir, "potsim.ckpt")
+		// Cadence 0 still flushes a final snapshot on interrupt, which is
+		// all a resumable Ctrl-C needs.
+		sys.CheckpointEvery(*ckptEvry, func(snap *core.Snapshot) error {
+			return checkpoint.Save(ckptPath, core.SnapshotKind, core.SnapshotVersion, snap)
+		})
+	}
+	if *resume {
+		var snap core.Snapshot
+		err := checkpoint.Load(ckptPath, core.SnapshotKind, core.SnapshotVersion, &snap)
+		switch {
+		case err == nil:
+			if err := sys.Restore(&snap); err != nil {
+				return err
+			}
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "potsim: no snapshot at %s; starting fresh\n", ckptPath)
+		default:
+			return err
+		}
+	}
+
+	// SIGINT/SIGTERM request a graceful stop: the run ends at its next
+	// epoch boundary, flushing the final snapshot when one is configured.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		sys.RequestStop()
+	}()
+
 	start := time.Now()
 	rep, err := sys.Run()
 	if err != nil {
+		if errors.Is(err, core.ErrInterrupted) && ckptPath != "" {
+			fmt.Fprintf(os.Stderr,
+				"potsim: interrupted; state saved to %s — continue with -checkpoint-dir %s -resume\n",
+				ckptPath, *ckptDir)
+		}
 		return err
 	}
+	if ckptPath != "" {
+		// The run completed: its snapshot must not feed a later -resume.
+		if rmErr := os.Remove(ckptPath); rmErr != nil && !os.IsNotExist(rmErr) {
+			return rmErr
+		}
+	}
 	if *events != "" {
-		f, err := os.Create(*events)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := sys.Events().WriteJSONL(&buf); err != nil {
 			return err
 		}
-		werr := sys.Events().WriteJSONL(f)
-		cerr := f.Close()
-		if werr != nil {
-			return werr
-		}
-		if cerr != nil {
-			return cerr
+		// Atomic: a crash mid-write can never leave a torn event log.
+		if err := checkpoint.WriteFileAtomic(*events, buf.Bytes(), 0o644); err != nil {
+			return err
 		}
 	}
 	if *jsonOut {

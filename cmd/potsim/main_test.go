@@ -2,10 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"potsim/internal/core"
 )
@@ -153,5 +157,85 @@ func TestRunGuardFlag(t *testing.T) {
 	}
 	if err := run([]string{"-horizon", "10ms", "-guard", "shrug"}); err == nil {
 		t.Error("bogus guard policy accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a file and returns
+// what fn printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = f
+	ferr := fn()
+	os.Stdout = old
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return string(blob), ferr
+}
+
+// TestInterruptSavesSnapshotAndResumeMatches: a SIGINT mid-run stops the
+// simulation gracefully, saves a resumable snapshot, and a -resume run
+// produces the exact JSON report of an uninterrupted run, then removes
+// the snapshot.
+func TestInterruptSavesSnapshotAndResumeMatches(t *testing.T) {
+	args := []string{"-horizon", "2s", "-seed", "5", "-json"}
+	golden, err := captureStdout(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	withCkpt := append(append([]string{}, args...), "-checkpoint-dir", dir)
+	errc := make(chan error, 1)
+	go func() { errc <- run(withCkpt) }()
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if ierr := <-errc; !errors.Is(ierr, core.ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want core.ErrInterrupted", ierr)
+	}
+	snap := filepath.Join(dir, "potsim.ckpt")
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("interrupt flushed no snapshot: %v", err)
+	}
+
+	resumed, err := captureStdout(t, func() error {
+		return run(append(append([]string{}, withCkpt...), "-resume"))
+	})
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if resumed != golden {
+		t.Error("resumed report differs from uninterrupted run")
+	}
+	if _, err := os.Stat(snap); !os.IsNotExist(err) {
+		t.Error("completed run left its snapshot behind")
+	}
+}
+
+func TestResumeFlagRequiresCheckpointDir(t *testing.T) {
+	if err := run([]string{"-horizon", "10ms", "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint-dir accepted")
+	}
+}
+
+// TestResumeWithoutSnapshotStartsFresh: -resume with an empty
+// checkpoint directory is not an error — the run simply starts over.
+func TestResumeWithoutSnapshotStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-horizon", "10ms",
+		"-checkpoint-dir", dir, "-resume"}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,289 @@
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type cellResult struct {
+	Index int     `json:"index"`
+	Value float64 `json:"value"`
+}
+
+func TestJournalRecordsSurviveReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.journal")
+	j, completed, err := OpenJournal(path, "suite-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 0 {
+		t.Fatalf("fresh journal reports %d completed cells", len(completed))
+	}
+	for _, i := range []int{3, 0, 7} {
+		if err := j.Record(i, cellResult{Index: i, Value: float64(i) * 1.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, completed, err := OpenJournal(path, "suite-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(completed) != 3 {
+		t.Fatalf("reopened journal has %d cells, want 3", len(completed))
+	}
+	var r cellResult
+	if err := json.Unmarshal(completed[3], &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 4.5 {
+		t.Fatalf("cell 3 payload %v", r)
+	}
+}
+
+func TestJournalToleratesTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.journal")
+	j, _, err := OpenJournal(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, cellResult{Index: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a crash mid-append: a partial JSON line with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":1,"payl`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, completed, err := OpenJournal(path, "m")
+	if err != nil {
+		t.Fatalf("torn final line rejected: %v", err)
+	}
+	if len(completed) != 1 {
+		t.Fatalf("torn line counted as complete: %d cells", len(completed))
+	}
+	// The journal must remain appendable after the torn line.
+	if err := j2.Record(1, cellResult{Index: 1, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, completed, err = OpenJournal(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 2 {
+		t.Fatalf("post-tear append lost: %d cells", len(completed))
+	}
+}
+
+func TestJournalRejectsMetaVersionAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "suite.journal")
+	j, _, err := OpenJournal(path, "suite-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(0, cellResult{})
+	j.Close()
+
+	if _, _, err := OpenJournal(path, "suite-B"); err == nil || !strings.Contains(err.Error(), "different suite") {
+		t.Fatalf("meta mismatch not rejected descriptively: %v", err)
+	}
+
+	vpath := filepath.Join(dir, "future.journal")
+	hdr := fmt.Sprintf(`{"magic":%q,"version":%d,"meta":"m"}`+"\n", journalMagic, JournalVersion+1)
+	if err := os.WriteFile(vpath, []byte(hdr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(vpath, "m"); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch not rejected descriptively: %v", err)
+	}
+
+	npath := filepath.Join(dir, "not.journal")
+	if err := os.WriteFile(npath, []byte(`{"magic":"something-else"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(npath, "m"); err == nil || !strings.Contains(err.Error(), "not a batch journal") {
+		t.Fatalf("foreign file not rejected descriptively: %v", err)
+	}
+
+	// A malformed line that is NOT the torn tail is corruption.
+	cpath := filepath.Join(dir, "corrupt.journal")
+	jc, _, err := OpenJournal(cpath, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc.Record(0, cellResult{})
+	jc.Close()
+	f, _ := os.OpenFile(cpath, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString("not json at all\n")
+	f.Close()
+	if _, _, err := OpenJournal(cpath, "m"); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption not rejected descriptively: %v", err)
+	}
+}
+
+func TestMapJournaledSkipsCompletedCellsAndKeepsAggregate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.journal")
+	const n = 12
+	fn := func(ctx context.Context, i int) (cellResult, error) {
+		return cellResult{Index: i, Value: float64(i*i) / 7}, nil
+	}
+
+	// Uninterrupted reference.
+	want, err := Map(context.Background(), Options{Workers: 4}, n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First pass: crash after 5 successes (dispatch serially so exactly
+	// the first five cells are journaled).
+	j, cached, err := OpenJournal(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	_, err = MapJournaled(context.Background(), Options{Workers: 1}, n, j, cached,
+		func(ctx context.Context, i int) (cellResult, error) {
+			if ran.Add(1) > 5 {
+				return cellResult{}, errors.New("simulated crash")
+			}
+			return fn(ctx, i)
+		})
+	if err == nil {
+		t.Fatal("crashing pass reported success")
+	}
+	j.Close()
+
+	// Second pass: journaled cells must be served without re-running.
+	j2, cached, err := OpenJournal(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(cached) != 5 {
+		t.Fatalf("journal has %d cells after crash, want 5", len(cached))
+	}
+	var reran atomic.Int32
+	got, err := MapJournaled(context.Background(), Options{Workers: 4}, n, j2, cached,
+		func(ctx context.Context, i int) (cellResult, error) {
+			if i < 5 {
+				t.Errorf("journaled cell %d re-ran", i)
+			}
+			reran.Add(1)
+			return fn(ctx, i)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(reran.Load()) != n-5 {
+		t.Fatalf("resumed pass ran %d cells, want %d", reran.Load(), n-5)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: resumed aggregate %v differs from uninterrupted %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapJournaledNeverRecordsFailedCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.journal")
+	j, cached, err := OpenJournal(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = MapJournaled(context.Background(), Options{Workers: 2}, 4, j, cached,
+		func(ctx context.Context, i int) (cellResult, error) {
+			if i%2 == 1 {
+				return cellResult{}, fmt.Errorf("cell %d failed", i)
+			}
+			if i == 2 {
+				panic("cell 2 panicked")
+			}
+			return cellResult{Index: i}, nil
+		})
+	if err == nil {
+		t.Fatal("failures not reported")
+	}
+	j.Close()
+	_, cached, err = OpenJournal(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached) != 1 {
+		t.Fatalf("journal has %d cells, want only the single success", len(cached))
+	}
+	if _, ok := cached[0]; !ok {
+		t.Fatal("successful cell 0 missing from journal")
+	}
+}
+
+// TestCancellationReachesInFlightCells pins the prompt-shutdown property:
+// cancelling the batch context must cancel the per-cell context of cells
+// that are already running, not just stop dispatch, so a Ctrl-C does not
+// wait out the cell timeout.
+func TestCancellationReachesInFlightCells(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+	begin := time.Now()
+	_, err := Map(ctx, Options{Workers: 2, CellTimeout: 30 * time.Second}, 2,
+		func(ctx context.Context, i int) (int, error) {
+			if i == 0 {
+				close(started)
+			}
+			<-ctx.Done() // a cooperative cell, as core.System.SetContext makes runs
+			return 0, ctx.Err()
+		})
+	if err == nil {
+		t.Fatal("cancelled batch reported success")
+	}
+	if d := time.Since(begin); d > 5*time.Second {
+		t.Fatalf("cancellation took %v; in-flight cells waited out the timeout", d)
+	}
+}
+
+// TestWatchdogDrainLeaksNoGoroutines asserts that cooperative cells hit
+// by the watchdog drain their goroutines once cancelled: the deliberate
+// leak is reserved for truly wedged cells.
+func TestWatchdogDrainLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, err := Map(context.Background(), Options{Workers: 4, CellTimeout: 50 * time.Millisecond}, 8,
+		func(ctx context.Context, i int) (int, error) {
+			<-ctx.Done() // overruns the deadline, then drains on cancel
+			return 0, ctx.Err()
+		})
+	if err == nil {
+		t.Fatal("timed-out batch reported success")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after watchdog drain: %d before, %d after", before, runtime.NumGoroutine())
+}

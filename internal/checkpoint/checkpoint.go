@@ -1,0 +1,149 @@
+// Package checkpoint persists simulation state as versioned, checksummed,
+// atomically-written snapshot files.
+//
+// A snapshot is a JSON envelope carrying a magic string, a kind tag (what
+// state it holds), a format version, the SHA-256 of the payload, and the
+// payload itself. Load verifies all four before a single payload byte is
+// decoded, so a torn write, a flipped bit, or a file from an incompatible
+// build is rejected with a descriptive error — never silently loaded.
+//
+// Files are written via WriteFileAtomic: the bytes land in a temporary
+// file in the destination directory, are fsynced, and are renamed over
+// the target, so readers observe either the old snapshot or the new one,
+// complete, and nothing in between even across a crash.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies potsim snapshot files.
+const Magic = "potsim-checkpoint"
+
+// envelope is the on-disk frame around a payload.
+type envelope struct {
+	Magic   string          `json:"magic"`
+	Kind    string          `json:"kind"`
+	Version int             `json:"version"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Typed sentinel errors so callers can distinguish "not a snapshot at
+// all" from "a snapshot we must refuse".
+var (
+	// ErrNotSnapshot marks files that are not potsim snapshots (bad
+	// magic or not JSON).
+	ErrNotSnapshot = errors.New("checkpoint: not a potsim snapshot")
+	// ErrCorrupt marks snapshots whose payload fails its checksum.
+	ErrCorrupt = errors.New("checkpoint: snapshot corrupt")
+	// ErrVersion marks snapshots written by an incompatible format
+	// version.
+	ErrVersion = errors.New("checkpoint: snapshot version mismatch")
+	// ErrKind marks snapshots holding a different kind of state than
+	// the caller asked for.
+	ErrKind = errors.New("checkpoint: snapshot kind mismatch")
+)
+
+// Save marshals state and atomically writes it to path under the given
+// kind tag and format version.
+func Save(path, kind string, version int, state any) error {
+	payload, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal %s state: %w", kind, err)
+	}
+	sum := sha256.Sum256(payload)
+	env := envelope{
+		Magic:   Magic,
+		Kind:    kind,
+		Version: version,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	}
+	blob, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal envelope: %w", err)
+	}
+	return WriteFileAtomic(path, blob, 0o644)
+}
+
+// Load reads the snapshot at path, verifies magic, kind, version and
+// checksum, and decodes the payload into out. Verification failures are
+// wrapped in the typed errors above with a human-readable explanation.
+func Load(path, kind string, version int, out any) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var env envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return fmt.Errorf("%w: %s is not valid JSON: %v", ErrNotSnapshot, path, err)
+	}
+	if env.Magic != Magic {
+		return fmt.Errorf("%w: %s has magic %q, want %q", ErrNotSnapshot, path, env.Magic, Magic)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("%w: %s holds %q state, want %q", ErrKind, path, env.Kind, kind)
+	}
+	if env.Version != version {
+		return fmt.Errorf("%w: %s is format v%d, this build reads v%d; re-run without -resume to start fresh",
+			ErrVersion, path, env.Version, version)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.SHA256 {
+		return fmt.Errorf("%w: %s payload sha256 %s does not match recorded %s",
+			ErrCorrupt, path, got, env.SHA256)
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("%w: %s payload does not decode: %v", ErrCorrupt, path, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path so that a crash at any instant
+// leaves either the previous file or the complete new one: the bytes go
+// to a temporary file in path's directory, the file is fsynced, renamed
+// over path, and the directory entry is fsynced.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Persist the rename itself. Some filesystems don't support fsync
+	// on directories; that costs durability of the rename, not
+	// atomicity, so it is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

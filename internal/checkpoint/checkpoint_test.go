@@ -1,0 +1,180 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+type fixture struct {
+	Name    string             `json:"name"`
+	Epoch   int64              `json:"epoch"`
+	Temps   []float64          `json:"temps"`
+	ByCore  map[string][]int   `json:"by_core"`
+	Nested  map[string]fixture `json:"nested,omitempty"`
+	Flag    bool               `json:"flag"`
+	Decimal float64            `json:"decimal"`
+}
+
+func sample() fixture {
+	return fixture{
+		Name:    "e2e",
+		Epoch:   12345,
+		Temps:   []float64{318.15, 333.007, 0.1 + 0.2}, // non-representable decimal on purpose
+		ByCore:  map[string][]int{"0": {1, 2}, "7": {3}},
+		Flag:    true,
+		Decimal: 1.0 / 3.0,
+	}
+}
+
+func TestSaveLoadRoundTripDeepEqual(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	in := sample()
+	if err := Save(path, "test-state", 3, in); err != nil {
+		t.Fatal(err)
+	}
+	var out fixture
+	if err := Load(path, "test-state", 3, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip not DeepEqual:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestLoadRejectsCorruptPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Save(path, "k", 1, sample()); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload character without breaking the JSON framing: the
+	// checksum, not the parser, must catch it.
+	i := bytes.Index(blob, []byte(`"e2e"`))
+	if i < 0 {
+		t.Fatal("fixture marker not found")
+	}
+	blob[i+1] = 'E'
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out fixture
+	err = Load(path, "k", 1, &out)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted payload not rejected as ErrCorrupt: %v", err)
+	}
+	if err == nil || len(err.Error()) < 20 {
+		t.Fatalf("corruption error not descriptive: %v", err)
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Save(path, "k", 1, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var out fixture
+	err := Load(path, "k", 2, &out)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("version mismatch not rejected as ErrVersion: %v", err)
+	}
+	if out.Name != "" {
+		t.Fatal("payload was decoded despite version mismatch")
+	}
+}
+
+func TestLoadRejectsKindMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Save(path, "system", 1, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var out fixture
+	if err := Load(path, "journal", 1, &out); !errors.Is(err, ErrKind) {
+		t.Fatalf("kind mismatch not rejected as ErrKind: %v", err)
+	}
+}
+
+func TestLoadRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	for name, blob := range map[string][]byte{
+		"garbage.ckpt": []byte("\x00\x01 not json"),
+		"json.ckpt":    []byte(`{"magic":"something-else","kind":"k","version":1,"sha256":"","payload":{}}`),
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out fixture
+		if err := Load(path, "k", 1, &out); !errors.Is(err, ErrNotSnapshot) {
+			t.Fatalf("%s not rejected as ErrNotSnapshot: %v", name, err)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var out fixture
+	err := Load(filepath.Join(t.TempDir(), "absent.ckpt"), "k", 1, &out)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file should surface os.ErrNotExist, got %v", err)
+	}
+}
+
+func TestWriteFileAtomicReplacesWholeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := os.WriteFile(path, []byte("old contents, longer than the new ones"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("got %q", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("write into a missing directory should fail")
+	}
+}
+
+// Float64 fields must survive the JSON round trip bit-exactly — the
+// resume byte-identity guarantee rests on this property.
+func TestFloatRoundTripExact(t *testing.T) {
+	vals := []float64{0.1 + 0.2, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 318.1499999999999}
+	path := filepath.Join(t.TempDir(), "f.ckpt")
+	if err := Save(path, "f", 1, vals); err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	if err := Load(path, "f", 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		a, _ := json.Marshal(v)
+		b, _ := json.Marshal(out[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("float %d not bit-exact: %s vs %s", i, a, b)
+		}
+	}
+}

@@ -703,6 +703,7 @@ func TestResumePhaseRecoversPreemptedWork(t *testing.T) {
 		cfg.MeanInterarrival = sim.Millisecond // heavy arrivals: many aborts
 		cfg.MapperName = "FF"                  // test-blind mapper preempts freely
 		cfg.AbortPolicy = policy
+		cfg.Seed = 3 // a seed with many preemptions under both policies
 		return mustRun(t, cfg)
 	}
 	discard := mk(sbst.DiscardProgress)
@@ -847,7 +848,7 @@ func TestTorusInterconnectShortensCommunication(t *testing.T) {
 
 func TestFlitModeOnTorus(t *testing.T) {
 	cfg := shortConfig()
-	cfg.Horizon = 15 * sim.Millisecond
+	cfg.Horizon = 25 * sim.Millisecond
 	cfg.NoCTopology = "torus"
 	cfg.NoCMode = "flit"
 	rep := mustRun(t, cfg)

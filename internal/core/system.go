@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"potsim/internal/aging"
 	"potsim/internal/dvfs"
@@ -114,6 +117,7 @@ type System struct {
 	engine  *sim.Engine
 	rng     *sim.RNG
 	source  arrivalSource
+	gen     *workload.Source  // non-nil when arrivals are generated
 	capture *workload.Capture // non-nil when recording
 	mapper  mapping.Policy
 	grid    *mapping.Grid
@@ -177,6 +181,40 @@ type System struct {
 	idleEpochs      []int64 // per-core epochs spent free or testing
 	testDelivery    int     // test program deliveries (NoC transactions)
 	decommissioned  []int   // cores taken out of service after detection
+
+	// Crash-safety hooks: stopReq is set from any goroutine (signal
+	// handlers) and polled at epoch boundaries; ctx, when set, cancels
+	// the run promptly; ckptSink receives periodic and final snapshots.
+	stopReq   atomic.Bool
+	ctx       context.Context
+	ckptEvery int64
+	ckptSink  func(*Snapshot) error
+}
+
+// ErrInterrupted is returned by Run when RequestStop ended the run early.
+// The system state at that point is a consistent epoch boundary and the
+// final snapshot (if a checkpoint sink is installed) has been flushed.
+var ErrInterrupted = errors.New("core: run interrupted by stop request")
+
+// RequestStop asks a running simulation to stop at the next epoch
+// boundary: the epoch completes, a final snapshot is handed to the
+// checkpoint sink (when one is installed), and Run returns
+// ErrInterrupted. Safe to call from any goroutine, any number of times.
+func (s *System) RequestStop() { s.stopReq.Store(true) }
+
+// SetContext attaches a cancellation context, polled at every epoch
+// boundary. Unlike RequestStop, cancellation fails the run with the
+// context's error and writes no snapshot — it is the "give up promptly"
+// path for timeouts and aborted experiment cells. Call before Run.
+func (s *System) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// CheckpointEvery installs a snapshot sink invoked every everyEpochs
+// epochs (0 = only on RequestStop) once that epoch has fully integrated.
+// A sink error fails the run: a checkpoint that cannot be persisted must
+// not be discovered at resume time. Call before Run.
+func (s *System) CheckpointEvery(everyEpochs int64, sink func(*Snapshot) error) {
+	s.ckptEvery = everyEpochs
+	s.ckptSink = sink
 }
 
 // New assembles a system from the configuration.
@@ -186,6 +224,7 @@ func New(cfg Config) (*System, error) {
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	var src arrivalSource
+	var gen *workload.Source
 	var capture *workload.Capture
 	if cfg.TracePath != "" {
 		f, err := os.Open(cfg.TracePath)
@@ -199,10 +238,11 @@ func New(cfg Config) (*System, error) {
 		}
 		src = workload.NewReplay(entries)
 	} else {
-		gen, err := workload.NewBurstySource(cfg.Mix, cfg.MeanInterarrival, cfg.Burst, rng.Stream("arrivals"))
+		g, err := workload.NewBurstySource(cfg.Mix, cfg.MeanInterarrival, cfg.Burst, rng.Stream("arrivals"))
 		if err != nil {
 			return nil, err
 		}
+		gen = g
 		src = gen
 		if cfg.RecordTracePath != "" {
 			capture = workload.NewCapture(gen)
@@ -243,6 +283,7 @@ func New(cfg Config) (*System, error) {
 		engine:     sim.NewEngine(),
 		rng:        rng,
 		source:     src,
+		gen:        gen,
 		capture:    capture,
 		mapper:     mapper,
 		grid:       mapping.NewGrid(cfg.Width, cfg.Height),
@@ -361,9 +402,36 @@ func (s *System) Run() (*Report, error) {
 	}
 	scheduleArrival(s.engine)
 
-	cancel, err := s.engine.Every(s.cfg.Epoch, s.cfg.Epoch, func(e *sim.Engine) {
+	// Epoch ticks run in ordering class 1 so that an arrival landing
+	// exactly on an epoch boundary always fires before the tick — on a
+	// resumed run the two chains have no shared scheduling history, so
+	// only a class can pin their relative order. The first tick starts
+	// one epoch after lastEpochAt, which is 0 on a fresh run and the
+	// snapshot instant on a resumed one.
+	cancel, err := s.engine.EveryClass(s.lastEpochAt+s.cfg.Epoch, s.cfg.Epoch, 1, func(e *sim.Engine) {
+		if s.ctx != nil {
+			if cerr := s.ctx.Err(); cerr != nil {
+				fail(cerr)
+				return
+			}
+		}
 		if err := s.epoch(e.Now()); err != nil {
 			fail(err)
+			return
+		}
+		stop := s.stopReq.Load()
+		if s.ckptSink != nil && (stop || (s.ckptEvery > 0 && s.totalEpochs%s.ckptEvery == 0)) {
+			snap, serr := s.Snapshot()
+			if serr == nil {
+				serr = s.ckptSink(snap)
+			}
+			if serr != nil {
+				fail(serr)
+				return
+			}
+		}
+		if stop {
+			fail(ErrInterrupted)
 		}
 	})
 	if err != nil {

@@ -1,0 +1,43 @@
+package eventlog
+
+import "fmt"
+
+// LogState is the serializable state of a Log: the retained events in
+// chronological order plus the rotation and per-kind counters. Capacity
+// is configuration; restore re-packs the ring from the front.
+type LogState struct {
+	Events  []Event      `json:"events,omitempty"`
+	Dropped int          `json:"dropped"`
+	Counts  map[Kind]int `json:"counts,omitempty"`
+}
+
+// Snapshot captures the retained events and counters.
+func (l *Log) Snapshot() LogState {
+	st := LogState{Dropped: l.dropped}
+	if l.size > 0 {
+		st.Events = l.Events()
+	}
+	if len(l.counts) > 0 {
+		st.Counts = l.CountByKind()
+	}
+	return st
+}
+
+// Restore overwrites the log with a snapshot taken from a log of the
+// same capacity.
+func (l *Log) Restore(st LogState) error {
+	if len(st.Events) > 0 && !l.Enabled() {
+		return fmt.Errorf("eventlog: snapshot carries %d events but this log is disabled", len(st.Events))
+	}
+	if len(st.Events) > len(l.buf) && l.Enabled() {
+		return fmt.Errorf("eventlog: snapshot carries %d events, capacity is %d", len(st.Events), len(l.buf))
+	}
+	l.start = 0
+	l.size = copy(l.buf, st.Events)
+	l.dropped = st.Dropped
+	l.counts = make(map[Kind]int, len(st.Counts))
+	for k, v := range st.Counts {
+		l.counts[k] = v
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+func TestLogSnapshotRoundTrip(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 7; i++ { // overflow the ring so rotation state matters
+		l.Record(Event{At: sim.Time(i), Kind: AppArrived, Core: -1, App: i})
+	}
+	l.Record(Event{At: 7, Kind: TestStarted, Core: 2, App: -1})
+	blob, err := json.Marshal(l.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st LogState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	r := New(4)
+	if err := r.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l.Events(), r.Events()) {
+		t.Fatalf("restored events differ: %v vs %v", l.Events(), r.Events())
+	}
+	if l.Dropped() != r.Dropped() || !reflect.DeepEqual(l.CountByKind(), r.CountByKind()) {
+		t.Fatal("restored counters differ")
+	}
+	// Continued recording behaves identically.
+	for _, log := range []*Log{l, r} {
+		log.Record(Event{At: 9, Kind: FaultInjected, Core: 1, App: -1})
+	}
+	if !reflect.DeepEqual(l.Events(), r.Events()) || l.Dropped() != r.Dropped() {
+		t.Fatal("post-restore recording diverged")
+	}
+}
+
+func TestLogRestoreRejectsOversizedSnapshot(t *testing.T) {
+	big := New(8)
+	for i := 0; i < 8; i++ {
+		big.Record(Event{At: sim.Time(i), Kind: AppArrived, Core: -1, App: i})
+	}
+	small := New(2)
+	if err := small.Restore(big.Snapshot()); err == nil {
+		t.Fatal("oversized snapshot accepted")
+	}
+	disabled := New(0)
+	if err := disabled.Restore(big.Snapshot()); err == nil {
+		t.Fatal("snapshot with events accepted into a disabled log")
+	}
+	// Empty snapshot into a disabled log is fine.
+	if err := disabled.Restore(New(0).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,13 +9,18 @@ package expt
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"potsim/internal/batch"
+	"potsim/internal/checkpoint"
 	"potsim/internal/core"
 	"potsim/internal/dvfs"
 	"potsim/internal/metrics"
@@ -80,6 +85,24 @@ type Runner struct {
 	// Chaos, when non-nil, injects controlled failures into matching
 	// cells (test/diagnostic use only).
 	Chaos *Chaos
+
+	// CheckpointDir, when non-empty, makes experiments durable: every
+	// completed cell is appended to an fsync'd journal under the
+	// directory (<id>.journal), and in-flight cells periodically
+	// snapshot their simulation state (<id>.cell<i>.ckpt) when
+	// CheckpointEvery is set. A run killed at any point can then be
+	// resumed without redoing finished work.
+	CheckpointDir string
+	// Resume reuses the durable state in CheckpointDir: cells the
+	// journal records as complete are served from it without
+	// re-running, and interrupted cells restart from their latest
+	// snapshot. When false, stale journals are discarded and every
+	// cell runs fresh.
+	Resume bool
+	// CheckpointEvery is the per-cell snapshot cadence in epochs; 0
+	// disables mid-cell snapshots (the journal alone still lets a
+	// resumed suite skip whole completed cells).
+	CheckpointEvery int64
 }
 
 // cell is one independent simulation of an experiment's batch. The
@@ -108,26 +131,78 @@ func (r *Runner) runCells(id string, cells []cell) ([]*core.Report, error) {
 	if r.Progress != nil {
 		opts.OnCellDone = func(done, total int) { r.Progress(id, done, total) }
 	}
-	reports, err := batch.Map(ctx, opts, len(cells),
-		func(cctx context.Context, i int) (*core.Report, error) {
-			rep, err := r.runCell(cctx, cells[i])
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", cells[i].label, err)
-			}
-			return rep, nil
-		})
+	runOne := func(cctx context.Context, i int) (*core.Report, error) {
+		rep, err := r.runCell(cctx, r.cellCheckpointPath(id, i), cells[i])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cells[i].label, err)
+		}
+		return rep, nil
+	}
+	j, cached, err := r.openJournal(id, cells)
+	if err != nil {
+		return make([]*core.Report, len(cells)), fmt.Errorf("%s: %w", id, err)
+	}
+	if j != nil {
+		defer j.Close()
+	}
+	reports, err := batch.MapJournaled(ctx, opts, len(cells), j, cached, runOne)
+	if reports == nil {
+		reports = make([]*core.Report, len(cells))
+	}
 	if err != nil {
 		return reports, fmt.Errorf("%s: %w", id, err)
 	}
 	return reports, nil
 }
 
+// openJournal opens the durable cell journal of one experiment, or
+// returns a nil journal when durability is off. The journal's meta
+// string fingerprints the whole suite — experiment id, mode, seed base
+// and every cell's configuration — so a resumed run can never silently
+// reuse results computed under different parameters: any drift makes
+// OpenJournal fail with a descriptive mismatch error.
+func (r *Runner) openJournal(id string, cells []cell) (*batch.Journal, map[int]json.RawMessage, error) {
+	if r.CheckpointDir == "" {
+		return nil, nil, nil
+	}
+	if err := os.MkdirAll(r.CheckpointDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|quick=%v|base=%d|guard=%s|cells=%d",
+		id, r.Quick, r.BaseSeed, r.GuardPolicy, len(cells))
+	for _, c := range cells {
+		ch, err := core.ConfigHash(c.cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(h, "|%s=%s", c.label, ch)
+	}
+	meta := fmt.Sprintf("%s:%x", id, h.Sum(nil)[:12])
+	path := filepath.Join(r.CheckpointDir, id+".journal")
+	if !r.Resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return nil, nil, err
+		}
+	}
+	return batch.OpenJournal(path, meta)
+}
+
+// cellCheckpointPath is where cell i of an experiment snapshots its
+// simulation state mid-run; empty when mid-cell snapshots are off.
+func (r *Runner) cellCheckpointPath(id string, i int) string {
+	if r.CheckpointDir == "" || r.CheckpointEvery <= 0 {
+		return ""
+	}
+	return filepath.Join(r.CheckpointDir, fmt.Sprintf("%s.cell%d.ckpt", id, i))
+}
+
 // runCell executes one cell, applying chaos injection when configured
 // and gating the result through the report sanity check so a numerically
 // poisoned run surfaces as that cell's failure rather than as NaNs in a
 // rendered table.
-func (r *Runner) runCell(ctx context.Context, c cell) (*core.Report, error) {
-	real := func() (*core.Report, error) { return r.run(c.cfg) }
+func (r *Runner) runCell(ctx context.Context, ckptPath string, c cell) (*core.Report, error) {
+	real := func() (*core.Report, error) { return r.run(ctx, ckptPath, c.cfg) }
 	var rep *core.Report
 	var err error
 	if r.Chaos != nil && r.Chaos.matches(c.label) {
@@ -193,13 +268,50 @@ func (r *Runner) seeds() []uint64 {
 	return []uint64{r.BaseSeed + 1, r.BaseSeed + 2, r.BaseSeed + 3}
 }
 
-// run executes one simulation.
-func (r *Runner) run(cfg core.Config) (*core.Report, error) {
+// run executes one simulation. The context, when non-nil, cancels the
+// run at its next epoch boundary, so batch cancellation and cell
+// timeouts reach in-flight simulations promptly instead of waiting them
+// out. A non-empty ckptPath makes the run snapshot its state there
+// every CheckpointEvery epochs and, under Resume, continue from the
+// latest surviving snapshot instead of starting over. Flit-mode cells
+// cannot snapshot (in-flight network state is not serializable) and run
+// without mid-cell checkpoints; the journal still covers them.
+func (r *Runner) run(ctx context.Context, ckptPath string, cfg core.Config) (*core.Report, error) {
 	sys, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run()
+	if ctx != nil {
+		sys.SetContext(ctx)
+	}
+	if ckptPath != "" && cfg.NoCMode != "flit" {
+		if r.Resume {
+			var snap core.Snapshot
+			err := checkpoint.Load(ckptPath, core.SnapshotKind, core.SnapshotVersion, &snap)
+			switch {
+			case err == nil:
+				if err := sys.Restore(&snap); err != nil {
+					return nil, err
+				}
+			case os.IsNotExist(err):
+				// No snapshot survived; the cell starts from scratch.
+			default:
+				return nil, err
+			}
+		}
+		sys.CheckpointEvery(r.CheckpointEvery, func(snap *core.Snapshot) error {
+			return checkpoint.Save(ckptPath, core.SnapshotKind, core.SnapshotVersion, snap)
+		})
+	}
+	rep, err := sys.Run()
+	if err == nil && ckptPath != "" {
+		// The cell finished: its snapshot must not shadow a later fresh
+		// run of the same cell index.
+		if rmErr := os.Remove(ckptPath); rmErr != nil && !os.IsNotExist(rmErr) {
+			return nil, rmErr
+		}
+	}
+	return rep, err
 }
 
 // baseConfig is the shared starting point of all experiments.

@@ -1,0 +1,216 @@
+package expt
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"potsim/internal/checkpoint"
+	"potsim/internal/core"
+	"potsim/internal/sim"
+)
+
+// TestSuiteResumeSkipsJournaledCellsAndKeepsTable is the suite-level
+// durability contract: after an interrupted run, resuming serves the
+// journaled cells without re-running them, and once the remaining cells
+// complete the rendered table is byte-identical to an uninterrupted run.
+func TestSuiteResumeSkipsJournaledCellsAndKeepsTable(t *testing.T) {
+	golden, err := (&Runner{Quick: true, Workers: 2}).E5()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// Pass 1: one cell fails; its four siblings complete and are journaled.
+	r1 := &Runner{Quick: true, Workers: 2, CheckpointDir: dir,
+		Chaos: &Chaos{Mode: "error", Match: "mapper=MapPro"}}
+	res1, err := r1.E5()
+	if err == nil {
+		t.Fatal("injected failure reported success")
+	}
+	if res1 == nil || !strings.Contains(res1.Table.Render(), "n/a") {
+		t.Fatal("interrupted pass did not degrade to a partial table")
+	}
+
+	// Pass 2: resume with chaos now targeting EVERY cell. Journaled
+	// cells must be served from the journal — out of the chaos hook's
+	// reach — so only the previously failed cell can fail again.
+	r2 := &Runner{Quick: true, Workers: 2, CheckpointDir: dir, Resume: true,
+		Chaos: &Chaos{Mode: "error"}}
+	res2, err := r2.E5()
+	if err == nil {
+		t.Fatal("resumed pass re-ran nothing yet reported success")
+	}
+	if !strings.Contains(err.Error(), "mapper=MapPro") {
+		t.Errorf("resumed failure does not name the unfinished cell: %v", err)
+	}
+	if strings.Contains(err.Error(), "mapper=FF") {
+		t.Errorf("journaled cell re-ran on resume: %v", err)
+	}
+	rendered := res2.Table.Render()
+	for _, m := range []string{"FF", "NN", "CoNA", "TUM"} {
+		if !strings.Contains(rendered, m) {
+			t.Errorf("journaled mapper %s missing from resumed table:\n%s", m, rendered)
+		}
+	}
+
+	// Pass 3: a clean resume completes the one missing cell and the
+	// output matches the uninterrupted run exactly.
+	r3 := &Runner{Quick: true, Workers: 2, CheckpointDir: dir, Resume: true}
+	res3, err := r3.E5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Render() != golden.Render() {
+		t.Errorf("resumed suite diverged from uninterrupted run:\n-- resumed --\n%s\n-- golden --\n%s",
+			res3.Render(), golden.Render())
+	}
+}
+
+// journalIndexes parses the cell indexes recorded in an experiment
+// journal, bypassing the batch API so the test checks the bytes on disk.
+func journalIndexes(t *testing.T, path string) map[int]bool {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	for _, line := range lines[1:] { // skip the header
+		var e struct {
+			Index int `json:"index"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		got[e.Index] = true
+	}
+	return got
+}
+
+// TestResumeUnderChaosNeverJournalsFailedCells: cells that panic or
+// hang must never be recorded as complete, whatever order the pool
+// finishes them in.
+func TestResumeUnderChaosNeverJournalsFailedCells(t *testing.T) {
+	for _, mode := range []string{"panic", "hang"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			r := &Runner{Quick: true, Workers: 2, CheckpointDir: dir,
+				CellTimeout: 5 * time.Second,
+				Chaos:       &Chaos{Mode: mode, Match: "mapper=FF"}}
+			if _, err := r.E5(); err == nil {
+				t.Fatalf("chaos %s reported success", mode)
+			}
+			// E5 enumerates FF first: its cell index is 0.
+			got := journalIndexes(t, filepath.Join(dir, "E5.journal"))
+			if got[0] {
+				t.Fatalf("chaos %s: failed cell recorded as complete", mode)
+			}
+			if len(got) != 4 {
+				t.Errorf("chaos %s: journal has %d cells, want the 4 healthy ones", mode, len(got))
+			}
+			if mode == "panic" {
+				// A clean resume finishes only the poisoned cell.
+				if _, err := (&Runner{Quick: true, Workers: 2,
+					CheckpointDir: dir, Resume: true}).E5(); err != nil {
+					t.Fatalf("resume after chaos failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeRejectsJournalFromDifferentSuiteParams: the journal meta
+// fingerprints the suite's parameters, so resuming with a different
+// seed base fails descriptively instead of mixing incompatible results;
+// without Resume the stale journal is discarded.
+func TestResumeRejectsJournalFromDifferentSuiteParams(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := (&Runner{Quick: true, CheckpointDir: dir}).E4(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := (&Runner{Quick: true, CheckpointDir: dir, Resume: true, BaseSeed: 100}).E4()
+	if err == nil || !strings.Contains(err.Error(), "different suite") {
+		t.Fatalf("parameter drift not rejected descriptively: %v", err)
+	}
+	if _, err := (&Runner{Quick: true, CheckpointDir: dir, BaseSeed: 100}).E4(); err != nil {
+		t.Fatalf("fresh run blocked by stale journal: %v", err)
+	}
+}
+
+// TestRunResumesFromMidCellSnapshot wires the per-cell snapshot path:
+// a cell killed mid-run restarts from its latest snapshot and produces
+// the exact report of an uninterrupted run, then removes the snapshot.
+func TestRunResumesFromMidCellSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	r := &Runner{CheckpointDir: dir, CheckpointEvery: 1, Resume: true}
+	cfg := core.DefaultConfig()
+	cfg.Horizon = 10 * sim.Millisecond
+	cfg.Seed = 5
+
+	golden, err := (&Runner{}).run(context.Background(), "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A killed first attempt: per-epoch checkpoints, crash at epoch 40.
+	ckpt := r.cellCheckpointPath("EX", 0)
+	sys, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := errors.New("simulated crash")
+	sys.CheckpointEvery(1, func(snap *core.Snapshot) error {
+		if err := checkpoint.Save(ckpt, core.SnapshotKind, core.SnapshotVersion, snap); err != nil {
+			return err
+		}
+		if snap.Counters.TotalEpochs >= 40 {
+			return crash
+		}
+		return nil
+	})
+	if _, err := sys.Run(); !errors.Is(err, crash) {
+		t.Fatalf("killed run returned %v", err)
+	}
+
+	rep, err := r.run(context.Background(), ckpt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, golden) {
+		t.Error("mid-cell resume diverged from uninterrupted run")
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Error("completed cell left its snapshot behind")
+	}
+}
+
+// TestBatchCancellationReachesRunningSimulations: cancelling the
+// runner's context stops a long simulation at its next epoch boundary —
+// a Ctrl-C does not wait for cells to run to their horizon.
+func TestBatchCancellationReachesRunningSimulations(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := &Runner{Workers: 2, Ctx: ctx}
+	cfg := core.DefaultConfig()
+	cfg.Horizon = 10 * sim.Second // far beyond what the test waits for
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	begin := time.Now()
+	_, err := r.runCells("EX", []cell{{label: "long", cfg: cfg}})
+	if err == nil {
+		t.Fatal("cancelled simulation reported success")
+	}
+	if d := time.Since(begin); d > 30*time.Second {
+		t.Fatalf("cancellation took %v; the in-flight cell ignored the context", d)
+	}
+}

@@ -1,0 +1,48 @@
+package faults
+
+import "fmt"
+
+// BoardState is the serializable state of a fault Board: every fault ever
+// injected (in injection order), the ID counter, and the injection
+// stream's RNG state. The per-core index is rebuilt on restore.
+type BoardState struct {
+	Faults []Fault `json:"faults"`
+	NextID int     `json:"next_id"`
+	RNG    uint64  `json:"rng"`
+}
+
+// Snapshot captures the board's faults and stream state. Faults are
+// copied by value, so later mutations don't leak into the snapshot.
+func (b *Board) Snapshot() BoardState {
+	st := BoardState{NextID: b.nextID, RNG: b.rng.State()}
+	if len(b.all) > 0 {
+		st.Faults = make([]Fault, len(b.all))
+		for i, f := range b.all {
+			st.Faults[i] = *f
+		}
+	}
+	return st
+}
+
+// Restore overwrites the board's state with a snapshot. The per-core
+// index is rebuilt so that, as before, every core's slice aliases the
+// same Fault values as the global list.
+func (b *Board) Restore(st BoardState) error {
+	n := len(b.byCore)
+	for _, f := range st.Faults {
+		if f.Core < 0 || f.Core >= n {
+			return fmt.Errorf("faults: snapshot fault %d on core %d, board has %d cores", f.ID, f.Core, n)
+		}
+	}
+	b.all = b.all[:0]
+	b.byCore = make([][]*Fault, n)
+	for i := range st.Faults {
+		f := st.Faults[i] // copy; the snapshot stays untouched
+		p := &f
+		b.all = append(b.all, p)
+		b.byCore[f.Core] = append(b.byCore[f.Core], p)
+	}
+	b.nextID = st.NextID
+	b.rng.SetState(st.RNG)
+	return nil
+}

@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+func TestBoardSnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultInjectorConfig()
+	cfg.BaseRatePerSec = 50 // force plenty of injections
+	mk := func() *Board {
+		b, err := NewBoard(8, cfg, sim.NewRNG(11).Stream("faults"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b := mk()
+	for i := 0; i < 200; i++ {
+		core := i % 8
+		b.MaybeInject(sim.Time(i)*sim.Millisecond, sim.Millisecond, core, 0.5)
+	}
+	b.Inject(3, Delay, 200*sim.Millisecond)
+	b.ApplyTest(3, 201*sim.Millisecond, 0.8, 0.5, 1.0)
+	if len(b.All()) == 0 {
+		t.Fatal("scenario injected nothing")
+	}
+
+	blob, err := json.Marshal(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st BoardState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	b2 := mk()
+	if err := b2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.Summarise(), b2.Summarise()) {
+		t.Fatal("restored board summary differs")
+	}
+
+	// The per-core index must alias the same Fault values as the global
+	// list: a detection through one view must be visible through the other.
+	caught := b2.ApplyTest(3, 210*sim.Millisecond, 1, 1, 1)
+	for _, f := range caught {
+		found := false
+		for _, g := range b2.All() {
+			if g == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("per-core fault not aliased into the global list after restore")
+		}
+	}
+
+	// Continuation determinism: both boards draw the identical future.
+	b.ApplyTest(3, 210*sim.Millisecond, 1, 1, 1) // mirror b2's draw on the original
+	for i := 0; i < 100; i++ {
+		core := i % 8
+		f1 := b.MaybeInject(sim.Time(300+i)*sim.Millisecond, sim.Millisecond, core, 0.7)
+		f2 := b2.MaybeInject(sim.Time(300+i)*sim.Millisecond, sim.Millisecond, core, 0.7)
+		if len(f1) != len(f2) {
+			t.Fatalf("iteration %d: injection drift (%d vs %d faults)", i, len(f1), len(f2))
+		}
+		for j := range f1 {
+			if *f1[j] != *f2[j] {
+				t.Fatalf("iteration %d: fault drift: %+v vs %+v", i, *f1[j], *f2[j])
+			}
+		}
+	}
+}
+
+func TestBoardRestoreRejectsBadCore(t *testing.T) {
+	b, _ := NewBoard(2, DefaultInjectorConfig(), sim.NewRNG(1).Stream("f"))
+	st := BoardState{Faults: []Fault{{ID: 0, Core: 5}}}
+	if err := b.Restore(st); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+}

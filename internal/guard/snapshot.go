@@ -1,0 +1,42 @@
+package guard
+
+// CheckerState is the serializable tally state of a Checker: per-invariant
+// counters and the bounded violation record. Policy and log sink are
+// configuration. Only LogAndContinue runs ever carry non-empty state
+// across a checkpoint — the other policies stop the run at the first
+// violation.
+type CheckerState struct {
+	Counts   map[string]int `json:"counts,omitempty"`
+	Recorded []Violation    `json:"recorded,omitempty"`
+	Dropped  int            `json:"dropped"`
+}
+
+// Snapshot captures the checker's counters and record.
+func (c *Checker) Snapshot() CheckerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CheckerState{Dropped: c.dropped}
+	if len(c.counts) > 0 {
+		st.Counts = make(map[string]int, len(c.counts))
+		for k, v := range c.counts {
+			st.Counts[k] = v
+		}
+	}
+	if len(c.recorded) > 0 {
+		st.Recorded = append([]Violation(nil), c.recorded...)
+	}
+	return st
+}
+
+// Restore overwrites the checker's counters and record with a snapshot.
+func (c *Checker) Restore(st CheckerState) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts = make(map[string]int, len(st.Counts))
+	for k, v := range st.Counts {
+		c.counts[k] = v
+	}
+	c.recorded = append(c.recorded[:0], st.Recorded...)
+	c.dropped = st.Dropped
+	return nil
+}

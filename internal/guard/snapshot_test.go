@@ -1,0 +1,40 @@
+package guard
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestCheckerSnapshotRoundTrip(t *testing.T) {
+	c := New(LogAndContinue)
+	c.SetLog(nil)
+	for i := 0; i < 70; i++ { // exceed the bounded record so dropped > 0
+		_ = c.Violatef("power.finite", "violation %d", i)
+	}
+	_ = c.Violatef("thermal.bounds", "too hot")
+	blob, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st CheckerState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	r := New(LogAndContinue)
+	r.SetLog(nil)
+	if err := r.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if c.Violations() != r.Violations() || !reflect.DeepEqual(c.Counts(), r.Counts()) {
+		t.Fatal("restored counters differ")
+	}
+	v1, d1 := c.Record()
+	v2, d2 := r.Record()
+	if !reflect.DeepEqual(v1, v2) || d1 != d2 {
+		t.Fatal("restored record differs")
+	}
+	if c.Summary() != r.Summary() {
+		t.Fatal("restored summary differs")
+	}
+}

@@ -1,0 +1,24 @@
+package mapping
+
+import "fmt"
+
+// GridState is the serializable state of the mapper's chip view. Width
+// and height are configuration; only the per-core views travel.
+type GridState struct {
+	Cores []CoreView `json:"cores"`
+}
+
+// Snapshot copies the per-core views.
+func (g *Grid) Snapshot() GridState {
+	return GridState{Cores: append([]CoreView(nil), g.Cores...)}
+}
+
+// Restore overwrites the per-core views with a snapshot taken from a
+// grid of the same geometry.
+func (g *Grid) Restore(st GridState) error {
+	if len(st.Cores) != len(g.Cores) {
+		return fmt.Errorf("mapping: snapshot has %d cores, grid has %d", len(st.Cores), len(g.Cores))
+	}
+	copy(g.Cores, st.Cores)
+	return nil
+}

@@ -1,0 +1,32 @@
+package mapping
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestGridSnapshotRoundTrip(t *testing.T) {
+	g := NewGrid(3, 3)
+	for i := range g.Cores {
+		g.Cores[i] = CoreView{Free: i%2 == 0, Criticality: float64(i) * 0.3, Utilization: float64(i) * 0.1}
+	}
+	blob, err := json.Marshal(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st GridState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	h := NewGrid(3, 3)
+	if err := h.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Cores, h.Cores) || g.FreeCount() != h.FreeCount() {
+		t.Fatal("restored grid differs")
+	}
+	if err := NewGrid(2, 2).Restore(st); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package mem
+
+import "fmt"
+
+// SubsystemState is the serializable state of the memory subsystem: the
+// in-epoch demand accumulators, the previous epoch's utilisations, and
+// the peak statistic. Controller placement is configuration.
+type SubsystemState struct {
+	Demand  []float64 `json:"demand"`
+	Rho     []float64 `json:"rho"`
+	PeakRho float64   `json:"peak_rho"`
+}
+
+// Snapshot captures the subsystem's accumulators.
+func (s *Subsystem) Snapshot() SubsystemState {
+	return SubsystemState{
+		Demand:  append([]float64(nil), s.demand...),
+		Rho:     append([]float64(nil), s.rho...),
+		PeakRho: s.peakRho,
+	}
+}
+
+// Restore overwrites the subsystem's state with a snapshot taken from a
+// subsystem with the same controller count.
+func (s *Subsystem) Restore(st SubsystemState) error {
+	if len(st.Demand) != len(s.demand) || len(st.Rho) != len(s.rho) {
+		return fmt.Errorf("mem: snapshot sized %d/%d, subsystem has %d controllers",
+			len(st.Demand), len(st.Rho), len(s.demand))
+	}
+	copy(s.demand, st.Demand)
+	copy(s.rho, st.Rho)
+	s.peakRho = st.PeakRho
+	return nil
+}

@@ -1,0 +1,56 @@
+package mem
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestSubsystemSnapshotRoundTrip(t *testing.T) {
+	mk := func() *Subsystem {
+		s, err := New(4, 4, DefaultConfig(4, 4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := mk()
+	for core := 0; core < 16; core++ {
+		s.AddDemand(core, 1e9)
+	}
+	s.EndEpoch()
+	s.AddDemand(3, 5e9) // mid-epoch demand must survive too
+	blob, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SubsystemState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	r := mk()
+	if err := r.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Snapshot(), r.Snapshot()) {
+		t.Fatal("restored subsystem state differs")
+	}
+	s.EndEpoch()
+	r.EndEpoch()
+	for core := 0; core < 16; core++ {
+		if s.Stretch(core) != r.Stretch(core) || s.SlowdownFactor(core, 0.3) != r.SlowdownFactor(core, 0.3) {
+			t.Fatalf("core %d stretch diverged", core)
+		}
+	}
+	if s.PeakRho() != r.PeakRho() {
+		t.Fatal("peak rho diverged")
+	}
+}
+
+func TestSubsystemRestoreRejectsSizeMismatch(t *testing.T) {
+	a, _ := New(4, 4, DefaultConfig(4, 4, 1))
+	b, _ := New(4, 4, DefaultConfig(4, 4, 4))
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("controller-count mismatch accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package power
+
+import (
+	"fmt"
+
+	"potsim/internal/sim"
+)
+
+// AccountantState is the serializable state of an Accountant. Together
+// with the constructor arguments (core count, trace decimation) it fully
+// determines future accounting, so a restored accountant integrates
+// bit-identically to one that never stopped.
+type AccountantState struct {
+	Workload    []Breakdown  `json:"workload"`
+	Test        []Breakdown  `json:"test"`
+	EnergyJ     float64      `json:"energy_j"`
+	TestEnergyJ float64      `json:"test_energy_j"`
+	LastAt      sim.Time     `json:"last_at"`
+	Trace       []TracePoint `json:"trace"`
+	LastTraceAt sim.Time     `json:"last_trace_at"`
+	PeakW       float64      `json:"peak_w"`
+	PeakAt      sim.Time     `json:"peak_at"`
+	Samples     int          `json:"samples"`
+	SumPower    float64      `json:"sum_power"`
+}
+
+// Snapshot captures the accountant's state. Slices are copied.
+func (a *Accountant) Snapshot() AccountantState {
+	st := AccountantState{
+		Workload:    append([]Breakdown(nil), a.workload...),
+		Test:        append([]Breakdown(nil), a.test...),
+		EnergyJ:     a.energyJ,
+		TestEnergyJ: a.testEnergyJ,
+		LastAt:      a.lastAt,
+		LastTraceAt: a.lastTraceAt,
+		PeakW:       a.peakW,
+		PeakAt:      a.peakAt,
+		Samples:     a.samples,
+		SumPower:    a.sumPower,
+	}
+	if len(a.trace) > 0 {
+		st.Trace = append([]TracePoint(nil), a.trace...)
+	}
+	return st
+}
+
+// Restore overwrites the accountant's state with a snapshot taken from an
+// accountant constructed with the same core count.
+func (a *Accountant) Restore(st AccountantState) error {
+	if len(st.Workload) != a.cores || len(st.Test) != a.cores {
+		return fmt.Errorf("power: snapshot has %d/%d core entries, accountant has %d",
+			len(st.Workload), len(st.Test), a.cores)
+	}
+	copy(a.workload, st.Workload)
+	copy(a.test, st.Test)
+	a.energyJ = st.EnergyJ
+	a.testEnergyJ = st.TestEnergyJ
+	a.lastAt = st.LastAt
+	a.trace = append(a.trace[:0], st.Trace...)
+	a.lastTraceAt = st.LastTraceAt
+	a.peakW = st.PeakW
+	a.peakAt = st.PeakAt
+	a.samples = st.Samples
+	a.sumPower = st.SumPower
+	return nil
+}
+
+// BudgetState is the serializable state of a Budget.
+type BudgetState struct {
+	TDP        float64 `json:"tdp"`
+	Violations int     `json:"violations"`
+	WorstOver  float64 `json:"worst_over"`
+	Checks     int     `json:"checks"`
+}
+
+// Snapshot captures the budget's cap and violation counters.
+func (b *Budget) Snapshot() BudgetState {
+	return BudgetState{TDP: b.TDP, Violations: b.violations, WorstOver: b.worstOver, Checks: b.checks}
+}
+
+// Restore overwrites the budget's state with a snapshot.
+func (b *Budget) Restore(st BudgetState) error {
+	if st.TDP <= 0 {
+		return fmt.Errorf("power: snapshot TDP %v not positive", st.TDP)
+	}
+	b.TDP = st.TDP
+	b.violations = st.Violations
+	b.worstOver = st.WorstOver
+	b.checks = st.Checks
+	return nil
+}

@@ -1,0 +1,97 @@
+package power
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"potsim/internal/sim"
+	"potsim/internal/tech"
+)
+
+// jsonTrip pushes a snapshot through JSON, as the checkpoint layer does.
+func jsonTrip[T any](t *testing.T, in T) T {
+	t.Helper()
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out T
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAccountantSnapshotRoundTrip(t *testing.T) {
+	mk := func() *Accountant {
+		a, err := NewAccountant(4, sim.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a := mk()
+	m := NewModel(tech.Default())
+	for i := 0; i < 4; i++ {
+		a.SetWorkload(i, m.Core(0.8, 1e9, 0.7, 330))
+	}
+	a.SetTest(2, m.Core(0.9, 1.5e9, 1.2, 340))
+	for _, at := range []sim.Time{sim.Millisecond, 3 * sim.Millisecond, 7 * sim.Millisecond} {
+		if err := a.Advance(at, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := jsonTrip(t, a.Snapshot())
+	b := mk()
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("restored accountant state differs")
+	}
+	// Continuation must be bit-identical.
+	for _, acc := range []*Accountant{a, b} {
+		acc.SetWorkload(1, m.Core(0.7, 0.8e9, 0.5, 335))
+		if err := acc.Advance(11*sim.Millisecond, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.EnergyJ() != b.EnergyJ() || a.TestEnergyJ() != b.TestEnergyJ() || a.MeanPower() != b.MeanPower() {
+		t.Fatalf("continuation diverged: %v/%v vs %v/%v", a.EnergyJ(), a.TestEnergyJ(), b.EnergyJ(), b.TestEnergyJ())
+	}
+	if !reflect.DeepEqual(a.Trace(), b.Trace()) {
+		t.Fatal("trace continuation diverged")
+	}
+}
+
+func TestAccountantRestoreRejectsSizeMismatch(t *testing.T) {
+	a, _ := NewAccountant(4, 0)
+	b, _ := NewAccountant(8, 0)
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestBudgetSnapshotRoundTrip(t *testing.T) {
+	b, err := NewBudget(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Check(9)
+	b.Check(12)
+	b.Check(14)
+	st := jsonTrip(t, b.Snapshot())
+	c, _ := NewBudget(10)
+	if err := c.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	v1, w1 := b.Violations()
+	v2, w2 := c.Violations()
+	if v1 != v2 || w1 != w2 || b.ViolationRate() != c.ViolationRate() {
+		t.Fatal("restored budget state differs")
+	}
+	if err := c.Restore(BudgetState{TDP: -1}); err == nil {
+		t.Fatal("negative TDP accepted")
+	}
+}

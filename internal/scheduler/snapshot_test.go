@@ -1,0 +1,97 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"potsim/internal/aging"
+	"potsim/internal/dvfs"
+	"potsim/internal/power"
+	"potsim/internal/sbst"
+	"potsim/internal/sim"
+	"potsim/internal/tech"
+)
+
+func snapCfg() Config {
+	node := tech.Default()
+	return Config{
+		Cores:       9,
+		Model:       power.NewModel(node),
+		Table:       dvfs.NewTable(node, 4),
+		Criticality: aging.DefaultCriticalityModel(),
+		Routines:    sbst.Library(),
+		Options:     DefaultOptions(),
+	}
+}
+
+func TestPOTSSnapshotRoundTrip(t *testing.T) {
+	mk := func() *POTS {
+		p, err := NewPOTS(snapCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p := mk()
+	cores := make([]CoreSnapshot, 9)
+	for i := range cores {
+		cores[i] = CoreSnapshot{ID: i, Idle: true, Stress: 0.1 * float64(i%4), Util: 0.2, TempK: 330}
+	}
+	// Drive some history: plans, completions, an abort.
+	for epoch := 0; epoch < 30; epoch++ {
+		now := sim.Time(epoch*60) * sim.Millisecond
+		for _, d := range p.Plan(now, cores, 5) {
+			p.OnTestComplete(d.Core, d.Level, now+sim.Millisecond)
+		}
+	}
+	p.OnTestAborted(4, 2*sim.Second)
+
+	blob, err := json.Marshal(p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st POTSState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	q := mk()
+	if err := q.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Stats(), q.Stats()) {
+		t.Fatal("restored stats differ")
+	}
+	// Continuation: identical future plans.
+	for epoch := 0; epoch < 10; epoch++ {
+		now := 2*sim.Second + sim.Time(epoch*60)*sim.Millisecond
+		d1 := p.Plan(now, cores, 3)
+		d2 := q.Plan(now, cores, 3)
+		if !reflect.DeepEqual(d1, d2) {
+			t.Fatalf("epoch %d: plans diverged: %v vs %v", epoch, d1, d2)
+		}
+		for i := range d1 {
+			p.OnTestComplete(d1[i].Core, d1[i].Level, now+sim.Millisecond)
+			q.OnTestComplete(d2[i].Core, d2[i].Level, now+sim.Millisecond)
+		}
+	}
+	if !reflect.DeepEqual(p.Snapshot(), q.Snapshot()) {
+		t.Fatal("post-continuation state diverged")
+	}
+}
+
+func TestPOTSRestoreRejectsMismatch(t *testing.T) {
+	p, _ := NewPOTS(snapCfg())
+	small := snapCfg()
+	small.Cores = 4
+	q, _ := NewPOTS(small)
+	if err := q.Restore(p.Snapshot()); err == nil {
+		t.Fatal("core-count mismatch accepted")
+	}
+	lv := snapCfg()
+	lv.Table = dvfs.NewTable(tech.Default(), 8)
+	r, _ := NewPOTS(lv)
+	if err := r.Restore(p.Snapshot()); err == nil {
+		t.Fatal("level-count mismatch accepted")
+	}
+}

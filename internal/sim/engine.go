@@ -11,9 +11,11 @@ import (
 type Handler func(e *Engine)
 
 // event is a scheduled callback. Events firing at the same instant are
-// ordered by sequence number (FIFO), which keeps runs deterministic.
+// ordered first by class and then by sequence number (FIFO), which keeps
+// runs deterministic.
 type event struct {
 	at      Time
+	class   uint8
 	seq     uint64
 	handler Handler
 	index   int // heap index; -1 once popped or cancelled
@@ -22,7 +24,7 @@ type event struct {
 // EventID identifies a scheduled event so it can be cancelled.
 type EventID struct{ ev *event }
 
-// eventQueue is a binary min-heap ordered by (at, seq).
+// eventQueue is a binary min-heap ordered by (at, class, seq).
 type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -30,6 +32,9 @@ func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
+	}
+	if q[i].class != q[j].class {
+		return q[i].class < q[j].class
 	}
 	return q[i].seq < q[j].seq
 }
@@ -84,12 +89,23 @@ func (e *Engine) Pending() int { return len(e.queue) }
 var ErrPast = errors.New("sim: event scheduled in the past")
 
 // Schedule registers handler to fire at absolute time at. Events at the
-// same instant fire in scheduling order.
+// same instant and class fire in scheduling order.
 func (e *Engine) Schedule(at Time, handler Handler) (EventID, error) {
+	return e.ScheduleClass(at, 0, handler)
+}
+
+// ScheduleClass registers handler to fire at absolute time at within the
+// given ordering class. At equal timestamps, lower classes fire first
+// regardless of scheduling order. Distinct chains of events that can
+// collide in time (such as workload arrivals and epoch ticks) must use
+// distinct classes: the relative scheduling order of two chains depends
+// on their firing history, which a checkpoint cannot carry across a
+// restart, whereas class order is a property of the code alone.
+func (e *Engine) ScheduleClass(at Time, class uint8, handler Handler) (EventID, error) {
 	if at < e.now {
 		return EventID{}, fmt.Errorf("%w: at=%v now=%v", ErrPast, at, e.now)
 	}
-	ev := &event{at: at, seq: e.seq, handler: handler}
+	ev := &event{at: at, class: class, seq: e.seq, handler: handler}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return EventID{ev: ev}, nil
@@ -165,6 +181,12 @@ func (e *Engine) Run() {
 // period is rejected with an error (a silent zero period would spin the
 // event loop forever at one instant).
 func (e *Engine) Every(start, period Time, handler Handler) (cancel func(), err error) {
+	return e.EveryClass(start, period, 0, handler)
+}
+
+// EveryClass is Every with an explicit ordering class for the ticks; see
+// ScheduleClass for when a non-zero class matters.
+func (e *Engine) EveryClass(start, period Time, class uint8, handler Handler) (cancel func(), err error) {
 	if period <= 0 {
 		return nil, fmt.Errorf("sim: Every requires a positive period, got %v", period)
 	}
@@ -179,10 +201,10 @@ func (e *Engine) Every(start, period Time, handler Handler) (cancel func(), err 
 		if stopped {
 			return
 		}
-		id = en.After(period, tick)
+		id, _ = en.ScheduleClass(en.now+period, class, tick) // never in the past
 	}
 	var serr error
-	id, serr = e.Schedule(start, tick)
+	id, serr = e.ScheduleClass(start, class, tick)
 	if serr != nil {
 		id = e.After(0, tick)
 	}
@@ -190,4 +212,35 @@ func (e *Engine) Every(start, period Time, handler Handler) (cancel func(), err 
 		stopped = true
 		e.Cancel(id)
 	}, nil
+}
+
+// EngineState is the serializable portion of an engine: its clock and
+// event counters. Pending events hold closures and cannot be serialized;
+// checkpoints are therefore taken at points where the owner can
+// reconstruct its event chains from domain state (see core.System).
+type EngineState struct {
+	Now   Time   `json:"now"`
+	Seq   uint64 `json:"seq"`
+	Fired uint64 `json:"fired"`
+}
+
+// Snapshot captures the engine clock and counters.
+func (e *Engine) Snapshot() EngineState {
+	return EngineState{Now: e.now, Seq: e.seq, Fired: e.fired}
+}
+
+// Restore rewinds a fresh engine to a snapshotted clock. It refuses to
+// run on an engine that already has pending events, because those events
+// were scheduled against the old clock.
+func (e *Engine) Restore(st EngineState) error {
+	if len(e.queue) != 0 {
+		return fmt.Errorf("sim: Restore on an engine with %d pending events", len(e.queue))
+	}
+	if st.Now < 0 {
+		return fmt.Errorf("sim: Restore with negative clock %v", st.Now)
+	}
+	e.now = st.Now
+	e.seq = st.Seq
+	e.fired = st.Fired
+	return nil
 }

@@ -223,3 +223,81 @@ func TestTimeConversions(t *testing.T) {
 		t.Errorf("Micros() = %v, want 3", got)
 	}
 }
+
+func TestEngineSnapshotRestore(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.After(Time(i)*Millisecond, func(*Engine) {})
+	}
+	e.RunUntil(10 * Millisecond)
+	st := e.Snapshot()
+	if st.Now != 10*Millisecond || st.Fired != 5 {
+		t.Fatalf("unexpected snapshot %+v", st)
+	}
+	fresh := NewEngine()
+	if err := fresh.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Now() != e.Now() || fresh.Fired() != e.Fired() {
+		t.Fatalf("restore mismatch: %v/%d vs %v/%d", fresh.Now(), fresh.Fired(), e.Now(), e.Fired())
+	}
+	// Scheduling resumes with the restored sequence counter so tie-break
+	// order matches the uninterrupted run.
+	if _, err := fresh.Schedule(11*Millisecond, func(*Engine) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineRestoreRejectsPendingEvents(t *testing.T) {
+	e := NewEngine()
+	e.After(Millisecond, func(*Engine) {})
+	if err := e.Restore(EngineState{Now: Millisecond}); err == nil {
+		t.Fatal("Restore accepted an engine with pending events")
+	}
+	if err := NewEngine().Restore(EngineState{Now: -1}); err == nil {
+		t.Fatal("Restore accepted a negative clock")
+	}
+}
+
+// Classes pin tie order independently of scheduling history: a class-0
+// event fires before a class-1 event at the same instant even when the
+// class-1 event was scheduled first.
+func TestEngineClassOrderingBeatsSeq(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	if _, err := e.ScheduleClass(Millisecond, 1, func(*Engine) { order = append(order, "late-class") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ScheduleClass(Millisecond, 0, func(*Engine) { order = append(order, "early-class") }); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(Millisecond)
+	if len(order) != 2 || order[0] != "early-class" || order[1] != "late-class" {
+		t.Fatalf("wrong order %v", order)
+	}
+}
+
+func TestEngineEveryClassTicksKeepClass(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	// Periodic class-1 ticks at 1ms, 2ms; one-shot class-0 event at 2ms
+	// scheduled before the 2ms tick exists. Class must still win.
+	cancel, err := e.EveryClass(Millisecond, Millisecond, 1, func(*Engine) { order = append(order, "tick") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if _, err := e.ScheduleClass(2*Millisecond, 0, func(*Engine) { order = append(order, "shot") }); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(2 * Millisecond)
+	want := []string{"tick", "shot", "tick"}
+	if len(order) != len(want) {
+		t.Fatalf("wrong events %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wrong order %v, want %v", order, want)
+		}
+	}
+}

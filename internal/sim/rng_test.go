@@ -155,3 +155,60 @@ func TestStreamDerivationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Satellite contract for checkpointing: a stream restored from State()
+// continues the exact sequence across every distribution helper, not just
+// raw words.
+func TestStreamStateRoundTrip(t *testing.T) {
+	s := NewRNG(42).Stream("ckpt")
+	// Burn a mixed prefix so the saved state is mid-sequence.
+	for i := 0; i < 257; i++ {
+		s.Exp(3.0)
+		s.Normal(1, 2)
+		s.Uint64()
+	}
+	saved := s.State()
+	type draw struct {
+		e, u, n, w float64
+		i          int
+		b          bool
+		raw        uint64
+	}
+	var want [64]draw
+	for i := range want {
+		want[i] = draw{
+			e: s.Exp(2.5), u: s.Uniform(-1, 7), n: s.Normal(0, 1),
+			w: s.Weibull(100, 1.5), i: s.IntBetween(0, 1000),
+			b: s.Bernoulli(0.5), raw: s.Uint64(),
+		}
+	}
+	for name, r := range map[string]*Stream{
+		"SetState":        NewRNG(42).Stream("ckpt"),
+		"StreamFromState": StreamFromState(saved),
+	} {
+		if name == "SetState" {
+			r.SetState(saved)
+		}
+		for i := range want {
+			got := draw{
+				e: r.Exp(2.5), u: r.Uniform(-1, 7), n: r.Normal(0, 1),
+				w: r.Weibull(100, 1.5), i: r.IntBetween(0, 1000),
+				b: r.Bernoulli(0.5), raw: r.Uint64(),
+			}
+			if got != want[i] {
+				t.Fatalf("%s: draw %d diverged: got %+v want %+v", name, i, got, want[i])
+			}
+		}
+	}
+}
+
+// The exported Source must behave as a plain value: equal states yield
+// equal futures, and State reflects every draw.
+func TestSourceStateAdvances(t *testing.T) {
+	s := NewRNG(7).Stream("adv")
+	before := s.State()
+	s.Uint64()
+	if s.State() == before {
+		t.Fatal("State did not advance after a draw")
+	}
+}

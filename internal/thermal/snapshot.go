@@ -1,0 +1,37 @@
+package thermal
+
+import (
+	"fmt"
+
+	"potsim/internal/sim"
+)
+
+// GridState is the serializable state of a thermal Grid: node
+// temperatures, the integration clock, and the peak-ever statistic. The
+// RC parameters live in Config and are reconstructed by the caller.
+type GridState struct {
+	TempK  []float64 `json:"temp_k"`
+	LastAt sim.Time  `json:"last_at"`
+	PeakK  float64   `json:"peak_k"`
+}
+
+// Snapshot captures the grid's temperatures and clock.
+func (g *Grid) Snapshot() GridState {
+	return GridState{
+		TempK:  append([]float64(nil), g.tempK...),
+		LastAt: g.lastAt,
+		PeakK:  g.peakK,
+	}
+}
+
+// Restore overwrites the grid's state with a snapshot taken from a grid
+// of the same geometry.
+func (g *Grid) Restore(st GridState) error {
+	if len(st.TempK) != len(g.tempK) {
+		return fmt.Errorf("thermal: snapshot has %d nodes, grid has %d", len(st.TempK), len(g.tempK))
+	}
+	copy(g.tempK, st.TempK)
+	g.lastAt = st.LastAt
+	g.peakK = st.PeakK
+	return nil
+}

@@ -1,0 +1,65 @@
+package thermal
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+func TestGridSnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	mk := func() *Grid {
+		g, err := NewGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g := mk()
+	pw := make([]float64, g.Cores())
+	for i := range pw {
+		pw[i] = 0.3 + 0.1*float64(i%3)
+	}
+	if err := g.Advance(20*sim.Millisecond, pw); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st GridState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	h := mk()
+	if err := h.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Snapshot(), h.Snapshot()) {
+		t.Fatal("restored grid state differs")
+	}
+	// Continuation must integrate bit-identically.
+	for _, grid := range []*Grid{g, h} {
+		if err := grid.Advance(35*sim.Millisecond, pw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < g.Cores(); i++ {
+		if g.Temperature(i) != h.Temperature(i) {
+			t.Fatalf("core %d temperature diverged: %v vs %v", i, g.Temperature(i), h.Temperature(i))
+		}
+	}
+	if g.PeakEver() != h.PeakEver() {
+		t.Fatal("peak statistic diverged")
+	}
+}
+
+func TestGridRestoreRejectsSizeMismatch(t *testing.T) {
+	a, _ := NewGrid(DefaultConfig(2, 2))
+	b, _ := NewGrid(DefaultConfig(3, 3))
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

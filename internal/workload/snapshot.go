@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+
+	"potsim/internal/sim"
+)
+
+// SourceState is the serializable state of an arrival Source: the stream
+// position plus the burst-phase process. Mix and rate are configuration,
+// reconstructed by the caller.
+type SourceState struct {
+	Seq        int      `json:"seq"`
+	NextAt     sim.Time `json:"next_at"`
+	InBurst    bool     `json:"in_burst"`
+	PhaseEndAt sim.Time `json:"phase_end_at"`
+	RNG        uint64   `json:"rng"`
+}
+
+// Snapshot captures the source's position and RNG state.
+func (s *Source) Snapshot() SourceState {
+	return SourceState{
+		Seq: s.seq, NextAt: s.nextAt,
+		InBurst: s.inBurst, PhaseEndAt: s.phaseEndAt,
+		RNG: s.rng.State(),
+	}
+}
+
+// Restore rewinds the source to a snapshot. Subsequent arrivals continue
+// the exact sequence the snapshotted source would have produced.
+func (s *Source) Restore(st SourceState) error {
+	if st.Seq < 0 || st.NextAt < 0 {
+		return fmt.Errorf("workload: snapshot has negative seq %d or next-at %v", st.Seq, st.NextAt)
+	}
+	s.seq = st.Seq
+	s.nextAt = st.NextAt
+	s.inBurst = st.InBurst
+	s.phaseEndAt = st.PhaseEndAt
+	s.rng.SetState(st.RNG)
+	return nil
+}
+
+// ReplayState is the serializable state of a Replay: just the cursor.
+// The trace itself is re-read from its file on restore.
+type ReplayState struct {
+	Pos int `json:"pos"`
+}
+
+// Snapshot captures the replay cursor.
+func (r *Replay) Snapshot() ReplayState { return ReplayState{Pos: r.pos} }
+
+// Restore repositions the replay cursor. The cursor may sit one past the
+// last entry (trace exhausted) but not beyond.
+func (r *Replay) Restore(st ReplayState) error {
+	if st.Pos < 0 || st.Pos > len(r.entries) {
+		return fmt.Errorf("workload: replay snapshot position %d outside trace of %d entries", st.Pos, len(r.entries))
+	}
+	r.pos = st.Pos
+	return nil
+}
+
+// CaptureState is the serializable state of a Capture decorator: the
+// arrivals recorded so far. The wrapped source snapshots separately.
+type CaptureState struct {
+	Entries []TraceEntry `json:"entries"`
+}
+
+// Snapshot copies the recorded entries.
+func (c *Capture) Snapshot() CaptureState {
+	return CaptureState{Entries: append([]TraceEntry(nil), c.entries...)}
+}
+
+// Restore replaces the recorded entries.
+func (c *Capture) Restore(st CaptureState) error {
+	for i, e := range st.Entries {
+		if e.Graph == nil {
+			return fmt.Errorf("workload: capture snapshot entry %d has no graph", i)
+		}
+	}
+	c.entries = append(c.entries[:0], st.Entries...)
+	return nil
+}

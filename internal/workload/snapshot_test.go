@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+// A restored source must continue the exact arrival sequence —
+// timestamps, graph identities, and class mix — from mid-stream.
+func TestSourceSnapshotContinuesExactSequence(t *testing.T) {
+	mk := func() *Source {
+		s, err := NewBurstySource(DefaultMix(), 2*sim.Millisecond, DefaultBurstiness(), sim.NewRNG(5).Stream("arrivals"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := mk()
+	for i := 0; i < 40; i++ { // consume a prefix mid-stream
+		if _, err := s.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SourceState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	r := mk() // fresh source, then rewound onto the snapshot
+	if err := r.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if s.PeekNext() != r.PeekNext() {
+			t.Fatalf("arrival %d: peek diverged %v vs %v", i, s.PeekNext(), r.PeekNext())
+		}
+		a1, err1 := s.Next()
+		a2, err2 := r.Next()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a1.Seq != a2.Seq || a1.At != a2.At || a1.Graph.Name != a2.Graph.Name ||
+			a1.Graph.Class != a2.Graph.Class || len(a1.Graph.Tasks) != len(a2.Graph.Tasks) {
+			t.Fatalf("arrival %d diverged: %v/%s vs %v/%s", i, a1.At, a1.Graph.Name, a2.At, a2.Graph.Name)
+		}
+	}
+}
+
+func TestSourceRestoreRejectsNegative(t *testing.T) {
+	s, err := NewSource(DefaultMix(), sim.Millisecond, sim.NewRNG(1).Stream("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(SourceState{Seq: -1}); err == nil {
+		t.Fatal("negative seq accepted")
+	}
+}
+
+func TestReplaySnapshotRoundTrip(t *testing.T) {
+	g := Library()[0]
+	entries := []TraceEntry{
+		{AtNs: 10, Graph: g}, {AtNs: 20, Graph: g}, {AtNs: 30, Graph: g},
+	}
+	r := NewReplay(entries)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Snapshot()
+	r2 := NewReplay(entries)
+	if err := r2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Remaining() != r.Remaining() || r2.PeekNext() != r.PeekNext() {
+		t.Fatal("restored replay cursor differs")
+	}
+	if err := r2.Restore(ReplayState{Pos: 99}); err == nil {
+		t.Fatal("out-of-range cursor accepted")
+	}
+	// Cursor at exactly len(entries) is legal: trace exhausted.
+	if err := r2.Restore(ReplayState{Pos: len(entries)}); err != nil {
+		t.Fatal(err)
+	}
+	if r2.PeekNext() != sim.Time(1<<62-1) {
+		t.Fatal("exhausted replay should peek beyond any horizon")
+	}
+}
+
+func TestCaptureSnapshotRoundTrip(t *testing.T) {
+	src, err := NewSource(DefaultMix(), sim.Millisecond, sim.NewRNG(9).Stream("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCapture(src)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Snapshot()
+	c2 := NewCapture(src)
+	if err := c2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Entries(), c2.Entries()) {
+		t.Fatal("restored capture entries differ")
+	}
+	if err := c2.Restore(CaptureState{Entries: []TraceEntry{{AtNs: 1}}}); err == nil {
+		t.Fatal("entry without graph accepted")
+	}
+}
