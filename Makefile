@@ -2,7 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments quick-experiments examples fmt clean
+.PHONY: all build vet test bench bench-gate bench-baseline experiments quick-experiments examples fmt clean
+
+# Benchmarks gated against bench/baseline.txt by bench-gate (and CI).
+BENCH_GATE = BenchmarkSystemEpoch$$|BenchmarkNoCStep$$
+BENCH_COUNT ?= 5
+# Longer per-run benchtime damps scheduler noise so the 10% gate
+# threshold measures the code, not the machine.
+BENCH_TIME ?= 2s
 
 all: build vet test
 
@@ -15,9 +22,22 @@ vet:
 test:
 	$(GO) test ./...
 
-# Regenerate every reproduction benchmark (quick mode) with allocations.
+# Regenerate every reproduction benchmark (quick mode) with allocations,
+# keeping the raw capture and a dated JSON summary (see cmd/benchreport).
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem ./...
+	$(GO) test -run=NONE -bench=. -benchmem ./... | tee bench/latest.txt
+	$(GO) run ./cmd/benchreport -out BENCH_$$(date +%Y%m%d).json bench/latest.txt
+
+# Re-measure the gated hot-path benchmarks and fail on a >10% mean
+# ns/op regression against the committed baseline.
+bench-gate:
+	$(GO) test -run=NONE -bench='$(BENCH_GATE)' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee bench/latest-gate.txt
+	$(GO) run ./cmd/benchreport -check -baseline bench/baseline.txt bench/latest-gate.txt
+
+# Refresh the committed baseline (run on a quiet machine, then commit
+# bench/baseline.txt together with the change that moved the numbers).
+bench-baseline:
+	$(GO) test -run=NONE -bench='$(BENCH_GATE)' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee bench/baseline.txt
 
 # Full paper-reproduction suite (several minutes; writes results/*.csv).
 experiments:

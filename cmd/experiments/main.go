@@ -32,6 +32,7 @@ import (
 	"potsim/internal/checkpoint"
 	"potsim/internal/expt"
 	"potsim/internal/guard"
+	"potsim/internal/prof"
 )
 
 type idList []string
@@ -76,9 +77,21 @@ func run(args []string) error {
 	ckptDir := fs.String("checkpoint-dir", "", "directory for durable suite state: per-experiment journals of completed cells and mid-cell snapshots")
 	ckptEvery := fs.Int64("checkpoint-every", 0, "epochs between mid-cell snapshots (0 = journal whole cells only; needs -checkpoint-dir)")
 	resume := fs.Bool("resume", false, "skip cells journaled as complete in -checkpoint-dir and continue interrupted cells from their snapshots")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	execTrace := fs.String("trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", perr)
+		}
+	}()
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume needs -checkpoint-dir")
 	}

@@ -27,6 +27,7 @@ import (
 
 	"potsim/internal/checkpoint"
 	"potsim/internal/core"
+	"potsim/internal/prof"
 	"potsim/internal/sim"
 	"potsim/internal/tech"
 	"potsim/internal/viz"
@@ -77,10 +78,24 @@ func run(args []string) error {
 		ckptDir  = fs.String("checkpoint-dir", "", "directory for the run's durable snapshot (interrupts become resumable)")
 		ckptEvry = fs.Int64("checkpoint-every", 0, "epochs between periodic snapshots (0 = snapshot only on interrupt; needs -checkpoint-dir)")
 		resume   = fs.Bool("resume", false, "continue from the snapshot in -checkpoint-dir")
+		// -trace already means the power trace here, so the runtime
+		// execution trace is -exectrace (cmd/experiments uses -trace).
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		execTr  = fs.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf, *execTr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "potsim:", perr)
+		}
+	}()
 
 	cfg := core.DefaultConfig()
 	if *cfgPath != "" {

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"sort"
 	"sync/atomic"
 
 	"potsim/internal/aging"
@@ -41,6 +40,10 @@ const (
 // testGuardBand reserves a slice of the TDP that test admission may not
 // touch, absorbing workload power steps between control epochs.
 const testGuardBand = 0.05
+
+// classOrder fixes the per-class DVFS shaping order (most to least
+// critical).
+var classOrder = [...]workload.Class{workload.HardRT, workload.SoftRT, workload.BestEffort}
 
 // taskRun is one task instance of a mapped application. Execution follows
 // the streaming model: the task's total work is WorkCycles * Iterations;
@@ -151,6 +154,14 @@ type System struct {
 
 	cores   []coreRuntime
 	pending []*appRun // arrived, waiting to be mapped
+
+	// Per-epoch scratch buffers, sized once at assembly so the
+	// steady-state control loop allocates nothing: core snapshots handed
+	// to the scheduler, and the aging/power vectors handed to the
+	// physical models.
+	snapScratch  []scheduler.CoreSnapshot
+	stateScratch []aging.CoreState
+	powerScratch []float64
 
 	lastEpochAt sim.Time
 	ceiling     int
@@ -299,6 +310,10 @@ func New(cfg Config) (*System, error) {
 		events:     eventlog.New(cfg.EventLogCapacity),
 		cores:      make([]coreRuntime, cfg.Cores()),
 		idleEpochs: make([]int64, cfg.Cores()),
+
+		snapScratch:  make([]scheduler.CoreSnapshot, cfg.Cores()),
+		stateScratch: make([]aging.CoreState, cfg.Cores()),
+		powerScratch: make([]float64, cfg.Cores()),
 	}
 	s.guard = guard.New(gpolicy)
 	// Chip power can never physically exceed every core at peak draw;
@@ -470,6 +485,15 @@ func (s *System) Run() (*Report, error) {
 	return rep, nil
 }
 
+// StepEpoch advances the control loop by exactly one epoch past the
+// last epoch boundary, bypassing the discrete-event engine: no arrivals
+// fire and no checkpoints are taken. It exists for steady-state
+// benchmarking and deterministic micro-drivers; Run remains the normal
+// entry point and the two must not be interleaved on one System.
+func (s *System) StepEpoch() error {
+	return s.epoch(s.lastEpochAt + s.cfg.Epoch)
+}
+
 // epoch is the per-control-period body: integrate the elapsed interval,
 // then make mapping / power / test decisions for the next one.
 func (s *System) epoch(now sim.Time) error {
@@ -497,7 +521,7 @@ func (s *System) epoch(now sim.Time) error {
 	// work absorbs the cap first and hard real-time demand is protected.
 	throttle := s.capper.Update(s.acct.ChipPower(), dt.Seconds())
 	s.ceiling = s.capper.CeilingLevel(s.table)
-	for _, class := range []workload.Class{workload.HardRT, workload.SoftRT, workload.BestEffort} {
+	for _, class := range classOrder {
 		u := throttle
 		if s.cfg.ClassAwareDVFS {
 			switch class {
@@ -622,7 +646,7 @@ func (s *System) abortTest(coreID int, now sim.Time) {
 
 // planTests asks the policy for launches and starts the executions.
 func (s *System) planTests(now sim.Time) {
-	snaps := make([]scheduler.CoreSnapshot, len(s.cores))
+	snaps := s.snapScratch
 	for id := range s.cores {
 		snaps[id] = scheduler.CoreSnapshot{
 			ID:      id,
@@ -675,10 +699,12 @@ func (s *System) planTests(now sim.Time) {
 			cr.testStallUntil = now + s.txn.Latency(src, dst, 64, s.netUtilization())
 		}
 		s.testDelivery++
-		s.events.Record(eventlog.Event{
-			At: now, Kind: eventlog.TestStarted, Core: d.Core, App: -1,
-			Note: fmt.Sprintf("%s@L%d", d.Routine.Name, d.Level),
-		})
+		if s.events.Enabled() {
+			s.events.Record(eventlog.Event{
+				At: now, Kind: eventlog.TestStarted, Core: d.Core, App: -1,
+				Note: fmt.Sprintf("%s@L%d", d.Routine.Name, d.Level),
+			})
+		}
 		// An excited fault on the core perturbs this run's responses.
 		if s.board != nil && s.board.HasUndetected(d.Core) {
 			cr.test.CorruptResponses(1)
@@ -746,8 +772,12 @@ func (s *System) pumpFlitNet(now sim.Time) {
 // advance integrates tasks, tests, power, heat and aging over (now-dt,now].
 func (s *System) advance(now sim.Time, dt sim.Time) error {
 	s.pumpFlitNet(now)
-	states := make([]aging.CoreState, len(s.cores))
-	powerVec := make([]float64, len(s.cores))
+	// powerVec is fully written below (every core, no early exit); the
+	// aging states are not — decommissioned cores skip the whole switch —
+	// so that buffer is re-zeroed to match a freshly made slice.
+	states := s.stateScratch
+	powerVec := s.powerScratch
+	clear(states)
 
 	for id := range s.cores {
 		cr := &s.cores[id]
@@ -869,16 +899,22 @@ func (s *System) advance(now sim.Time, dt sim.Time) error {
 // policy the first violation aborts the epoch (and therefore the run);
 // under LogAndContinue the violations are tallied into the report.
 func (s *System) checkInvariants(now sim.Time) error {
+	// The guard conditions are tested inline (rather than through
+	// Checkf's ok parameter) so the happy path never boxes the format
+	// arguments; Checkf(ok=true) and an untaken branch are equivalent.
 	chip := s.acct.ChipPower()
-	if err := s.guard.Checkf("power.finite",
-		!math.IsNaN(chip) && !math.IsInf(chip, 0) && chip >= 0,
-		"chip power %v W at t=%v", chip, now); err != nil {
-		return err
+	if !(!math.IsNaN(chip) && !math.IsInf(chip, 0) && chip >= 0) {
+		if err := s.guard.Violatef("power.finite",
+			"chip power %v W at t=%v", chip, now); err != nil {
+			return err
+		}
 	}
-	if err := s.guard.Checkf("power.cap", chip <= s.guardPowerCapW,
-		"chip power %.3f W above runaway ceiling %.3f W (TDP %.3f W) at t=%v",
-		chip, s.guardPowerCapW, s.budget.TDP, now); err != nil {
-		return err
+	if !(chip <= s.guardPowerCapW) {
+		if err := s.guard.Violatef("power.cap",
+			"chip power %.3f W above runaway ceiling %.3f W (TDP %.3f W) at t=%v",
+			chip, s.guardPowerCapW, s.budget.TDP, now); err != nil {
+			return err
+		}
 	}
 	// A healthy RC grid can neither undershoot ambient by more than
 	// integration ringing nor melt the die.
@@ -889,12 +925,13 @@ func (s *System) checkInvariants(now sim.Time) error {
 	}
 	for id := range s.cores {
 		stress, util := s.ager.Stress(id), s.ager.Utilization(id)
-		if err := s.guard.Checkf("metrics.finite",
-			!math.IsNaN(stress) && !math.IsInf(stress, 0) && stress >= 0 &&
-				!math.IsNaN(util) && !math.IsInf(util, 0) && util >= 0,
-			"core %d aging metrics stress=%v util=%v at t=%v",
-			id, stress, util, now); err != nil {
-			return err
+		if !(!math.IsNaN(stress) && !math.IsInf(stress, 0) && stress >= 0 &&
+			!math.IsNaN(util) && !math.IsInf(util, 0) && util >= 0) {
+			if err := s.guard.Violatef("metrics.finite",
+				"core %d aging metrics stress=%v util=%v at t=%v",
+				id, stress, util, now); err != nil {
+				return err
+			}
 		}
 		if err := s.checkOccupancy(id, now); err != nil {
 			return err
@@ -937,7 +974,10 @@ func (s *System) checkOccupancy(id int, now sim.Time) error {
 			ok, detail = false, "decommissioned core marked free in mapper grid"
 		}
 	}
-	return s.guard.Checkf("mapper.occupancy", ok,
+	if ok {
+		return nil
+	}
+	return s.guard.Violatef("mapper.occupancy",
 		"core %d state=%d: %s at t=%v", id, cr.state, detail, now)
 }
 
@@ -980,14 +1020,10 @@ func (s *System) fireFirstIteration(tr *taskRun, now sim.Time) {
 	if scale < 1 {
 		scale = 1
 	}
-	// CommFlits is a map; iterate successors in sorted order so flit
-	// injection order (and thus router arbitration) is reproducible.
-	succIDs := make([]int, 0, len(tr.task.CommFlits))
-	for id := range tr.task.CommFlits {
-		succIDs = append(succIDs, id)
-	}
-	sort.Ints(succIDs)
-	for _, succID := range succIDs {
+	// CommFlits is a map; iterate successors in the graph's cached sorted
+	// order so flit injection order (and thus router arbitration) is
+	// reproducible.
+	for _, succID := range tr.task.Successors() {
 		flits := tr.task.CommFlits[succID]
 		succ := &app.tasks[succID]
 		if succ.task == nil {
@@ -1065,10 +1101,12 @@ func (s *System) completeTest(coreID int, ex *sbst.Exec, now sim.Time) {
 	cr.test = nil
 	cr.state = coreFree
 	s.policy.OnTestComplete(coreID, ex.Level, now)
-	s.events.Record(eventlog.Event{
-		At: now, Kind: eventlog.TestCompleted, Core: coreID, App: -1,
-		Note: fmt.Sprintf("%s@L%d cov=%.2f", ex.Routine.Name, ex.Level, ex.Coverage()),
-	})
+	if s.events.Enabled() {
+		s.events.Record(eventlog.Event{
+			At: now, Kind: eventlog.TestCompleted, Core: coreID, App: -1,
+			Note: fmt.Sprintf("%s@L%d cov=%.2f", ex.Routine.Name, ex.Level, ex.Coverage()),
+		})
+	}
 	if s.board == nil {
 		return
 	}

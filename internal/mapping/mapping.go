@@ -30,6 +30,17 @@ type CoreView struct {
 type Grid struct {
 	Width, Height int
 	Cores         []CoreView // row-major, index = y*Width + x
+
+	// BFS scratch reused by growRegion so region growing — which runs
+	// for every candidate seed, every epoch an application is pending —
+	// allocates nothing. visited is a stamped set (visited[i] == stamp
+	// means seen this search), sparing a per-search clear; regionA/B
+	// double-buffer candidate regions for best-so-far policies.
+	stamp   int
+	visited []int
+	queue   []int
+	regionA []int
+	regionB []int
 }
 
 // NewGrid allocates an all-free grid.
@@ -54,23 +65,36 @@ func (g *Grid) FreeCount() int {
 	return n
 }
 
-// neighbours yields the valid mesh neighbours of index i.
-func (g *Grid) neighbours(i int) []int {
+// neighbours yields the valid mesh neighbours of index i, in fixed
+// west/east/north/south order, as a count-bounded array.
+func (g *Grid) neighbours(i int) (nb [4]int, n int) {
 	c := g.Coord(i)
-	var out []int
 	if c.X > 0 {
-		out = append(out, i-1)
+		nb[n] = i - 1
+		n++
 	}
 	if c.X < g.Width-1 {
-		out = append(out, i+1)
+		nb[n] = i + 1
+		n++
 	}
 	if c.Y > 0 {
-		out = append(out, i-g.Width)
+		nb[n] = i - g.Width
+		n++
 	}
 	if c.Y < g.Height-1 {
-		out = append(out, i+g.Width)
+		nb[n] = i + g.Width
+		n++
 	}
-	return out
+	return nb, n
+}
+
+// beginSearch readies the stamped visited set for a fresh BFS.
+func (g *Grid) beginSearch() {
+	if len(g.visited) != len(g.Cores) {
+		g.visited = make([]int, len(g.Cores))
+		g.stamp = 0
+	}
+	g.stamp++
 }
 
 // Assignment maps task ID -> core coordinate.
@@ -123,30 +147,33 @@ func (FirstFree) Map(g *workload.Graph, grid *Grid) (Assignment, bool) {
 }
 
 // growRegion BFS-expands from seed over free cores until need cores are
-// collected; ok=false if the free region is too small. Ties expand in
-// deterministic index order.
-func growRegion(grid *Grid, seed, need int) ([]int, bool) {
+// collected, appending them into out (reset to length zero first);
+// ok=false if the free region is too small. Ties expand in
+// deterministic index order. The grid's scratch buffers back the search
+// state, so the returned slice is only valid until the next search that
+// reuses out's backing array.
+func growRegion(grid *Grid, seed, need int, out []int) ([]int, bool) {
+	out = out[:0]
 	if !grid.Cores[seed].Free {
-		return nil, false
+		return out, false
 	}
-	visited := map[int]bool{seed: true}
-	queue := []int{seed}
-	var region []int
-	for len(queue) > 0 && len(region) < need {
-		cur := queue[0]
-		queue = queue[1:]
-		region = append(region, cur)
-		for _, nb := range grid.neighbours(cur) {
-			if !visited[nb] && grid.Cores[nb].Free {
-				visited[nb] = true
-				queue = append(queue, nb)
+	grid.beginSearch()
+	grid.visited[seed] = grid.stamp
+	queue := append(grid.queue[:0], seed)
+	for head := 0; head < len(queue) && len(out) < need; head++ {
+		cur := queue[head]
+		out = append(out, cur)
+		nb, n := grid.neighbours(cur)
+		for k := 0; k < n; k++ {
+			id := nb[k]
+			if grid.visited[id] != grid.stamp && grid.Cores[id].Free {
+				grid.visited[id] = grid.stamp
+				queue = append(queue, id)
 			}
 		}
 	}
-	if len(region) < need {
-		return nil, false
-	}
-	return region, true
+	grid.queue = queue
+	return out, len(out) >= need
 }
 
 // NearestNeighbour takes the first free core as the seed and BFS-grows a
@@ -163,7 +190,9 @@ func (NearestNeighbour) Map(g *workload.Graph, grid *Grid) (Assignment, bool) {
 		if !grid.Cores[i].Free {
 			continue
 		}
-		if region, ok := growRegion(grid, i, need); ok {
+		region, ok := growRegion(grid, i, need, grid.regionA)
+		grid.regionA = region
+		if ok {
 			return assignTasks(g, region, grid), true
 		}
 	}
@@ -187,8 +216,9 @@ func (CoNA) Map(g *workload.Graph, grid *Grid) (Assignment, bool) {
 			continue
 		}
 		fn := 0
-		for _, nb := range grid.neighbours(i) {
-			if grid.Cores[nb].Free {
+		nb, n := grid.neighbours(i)
+		for k := 0; k < n; k++ {
+			if grid.Cores[nb[k]].Free {
 				fn++
 			}
 		}
@@ -201,7 +231,9 @@ func (CoNA) Map(g *workload.Graph, grid *Grid) (Assignment, bool) {
 		return cands[a].idx < cands[b].idx
 	})
 	for _, c := range cands {
-		if region, ok := growRegion(grid, c.idx, need); ok {
+		region, ok := growRegion(grid, c.idx, need, grid.regionA)
+		grid.regionA = region
+		if ok {
 			return assignTasks(g, region, grid), true
 		}
 	}
@@ -244,11 +276,17 @@ func (m *TUM) Map(g *workload.Graph, grid *Grid) (Assignment, bool) {
 	need := g.Size()
 	bestCost := math.Inf(1)
 	var best []int
+	// Candidate regions double-buffer through the grid scratch: the
+	// best-so-far region holds one buffer while the other is regrown.
+	cur := grid.regionA
+	spare := grid.regionB
+	defer func() { grid.regionA, grid.regionB = cur, spare }()
 	for i := range grid.Cores {
 		if !grid.Cores[i].Free {
 			continue
 		}
-		region, ok := growRegion(grid, i, need)
+		region, ok := growRegion(grid, i, need, cur)
+		cur = region
 		if !ok {
 			continue
 		}
@@ -263,6 +301,7 @@ func (m *TUM) Map(g *workload.Graph, grid *Grid) (Assignment, bool) {
 		if cost < bestCost {
 			bestCost = cost
 			best = region
+			cur, spare = spare, cur // keep best's buffer out of the regrow cycle
 		}
 	}
 	if best == nil {

@@ -4,18 +4,41 @@ import (
 	"fmt"
 )
 
-// fifo is a bounded flit queue.
+// fifo is a bounded flit queue. Popped slots are reclaimed by a head
+// offset (and a compaction before a would-grow append), so steady-state
+// traffic reuses one backing array instead of allocating per wrap.
 type fifo struct {
-	buf []Flit
-	cap int
+	buf  []Flit
+	head int
+	cap  int
 }
 
-func (q *fifo) len() int     { return len(q.buf) }
-func (q *fifo) full() bool   { return len(q.buf) >= q.cap }
-func (q *fifo) front() *Flit { return &q.buf[0] }
-func (q *fifo) push(f Flit)  { q.buf = append(q.buf, f) }
-func (q *fifo) pop() Flit    { f := q.buf[0]; q.buf = q.buf[1:]; return f }
-func (q *fifo) empty() bool  { return len(q.buf) == 0 }
+func (q *fifo) len() int     { return len(q.buf) - q.head }
+func (q *fifo) full() bool   { return q.len() >= q.cap }
+func (q *fifo) front() *Flit { return &q.buf[q.head] }
+
+func (q *fifo) push(f Flit) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		// Appending would reallocate while dead slots sit at the front:
+		// slide the live flits down and reuse the array.
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, f)
+}
+
+func (q *fifo) pop() Flit {
+	f := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return f
+}
+
+func (q *fifo) empty() bool { return q.len() == 0 }
 
 // vcState is one virtual channel of one input port: a FIFO plus the
 // routing/allocation state of the packet currently occupying it. Wormhole
@@ -26,6 +49,9 @@ type vcState struct {
 	owner   int  // packet ID occupying this VC, -1 when free
 	outPort Port // route of the occupying packet, -1 before route compute
 	outVC   int  // downstream VC allocated to the packet, -1 before VC alloc
+	// incoming counts flits staged to arrive here this cycle (credit
+	// accounting); reset via Network.touched at the start of each Step.
+	incoming int
 }
 
 func (v *vcState) reset() {
@@ -48,6 +74,20 @@ type router struct {
 	// buffered counts flits currently held in any input FIFO, letting
 	// the per-cycle allocation loop skip idle routers cheaply.
 	buffered int
+	// vcTotal is the flattened (input port, vc) candidate count, fixed at
+	// construction; switch allocation iterates it round-robin.
+	vcTotal int
+}
+
+// vcAt decomposes a flattened candidate index into (input port, vc).
+func (r *router) vcAt(idx int) (Port, int) {
+	for p := Port(0); p < numPorts; p++ {
+		if idx < len(r.in[p]) {
+			return p, idx
+		}
+		idx -= len(r.in[p])
+	}
+	return Local, 0
 }
 
 // move is a staged flit transfer decided in the allocation phase and
@@ -79,9 +119,10 @@ type Network struct {
 	// linkFlits[router][outPort] counts flits that traversed that link.
 	linkFlits [][]int64
 
-	// staged per-cycle state
-	moves    []move
-	incoming map[*vcState]int
+	// staged per-cycle state: the decided flit transfers plus the list of
+	// destination VCs whose incoming counters must be reset next cycle.
+	moves   []move
+	touched []*vcState
 }
 
 // NewNetwork builds a mesh network.
@@ -90,9 +131,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{
-		cfg:      cfg,
-		packets:  make(map[int]*Packet),
-		incoming: make(map[*vcState]int),
+		cfg:     cfg,
+		packets: make(map[int]*Packet),
 	}
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
@@ -109,6 +149,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 					r.in[p][v] = vcState{fifo: fifo{cap: capacity}}
 					r.in[p][v].reset()
 				}
+				r.vcTotal += vcs
 			}
 			n.routers = append(n.routers, r)
 			n.linkFlits = append(n.linkFlits, make([]int64, numPorts))
@@ -184,30 +225,32 @@ func route(at, dst Coord) Port { return routeXY(at, dst) }
 // turn model forbids only the two turns into West, so taking all west
 // hops first keeps the network deadlock free while the remaining
 // directions may be chosen adaptively by congestion).
-func (n *Network) routeCandidates(at, dst Coord) []Port {
+func (n *Network) routeCandidates(at, dst Coord) (cands [3]Port, count int) {
 	if at == dst {
-		return []Port{Local}
+		return [3]Port{Local}, 1
 	}
 	if n.cfg.Topology == TopologyTorus {
-		return []Port{n.routeTorusXY(at, dst)}
+		return [3]Port{n.routeTorusXY(at, dst)}, 1
 	}
 	if n.cfg.Routing != RoutingWestFirst {
-		return []Port{routeXY(at, dst)}
+		return [3]Port{routeXY(at, dst)}, 1
 	}
 	if dst.X < at.X {
-		return []Port{West} // all west hops first, no adaptivity
+		return [3]Port{West}, 1 // all west hops first, no adaptivity
 	}
-	var cands []Port
 	if dst.X > at.X {
-		cands = append(cands, East)
+		cands[count] = East
+		count++
 	}
 	if dst.Y > at.Y {
-		cands = append(cands, South)
+		cands[count] = South
+		count++
 	}
 	if dst.Y < at.Y {
-		cands = append(cands, North)
+		cands[count] = North
+		count++
 	}
-	return cands
+	return cands, count
 }
 
 // neighbour returns the router adjacent to r through out, and the input
@@ -253,7 +296,7 @@ func (n *Network) freeSlots(r *router, p Port) int {
 	sum := 0
 	for v := range r.in[p] {
 		vc := &r.in[p][v]
-		sum += vc.cap - vc.len() - n.incoming[vc]
+		sum += vc.cap - vc.len() - vc.incoming
 	}
 	return sum
 }
@@ -262,7 +305,10 @@ func (n *Network) freeSlots(r *router, p Port) int {
 // allocation and switch traversal for every router, applied atomically.
 func (n *Network) Step() {
 	n.moves = n.moves[:0]
-	clear(n.incoming)
+	for _, vc := range n.touched {
+		vc.incoming = 0
+	}
+	n.touched = n.touched[:0]
 
 	for _, r := range n.routers {
 		if r.buffered == 0 {
@@ -323,10 +369,10 @@ func (n *Network) allocateVC(r *router, p Port, v int) {
 	if vc.outPort < 0 {
 		// Route computation: pick among allowed candidates the one whose
 		// downstream input port has the most free space.
-		cands := n.routeCandidates(r.at, f.Dst)
+		cands, count := n.routeCandidates(r.at, f.Dst)
 		best := Port(-1)
 		bestFree := -1
-		for _, c := range cands {
+		for _, c := range cands[:count] {
 			if c == Local {
 				best = Local
 				break
@@ -374,24 +420,11 @@ func (n *Network) allocateSwitch(r *router, out Port) {
 	if out != Local && downstream == nil {
 		return // edge of the mesh; legal routes never request it
 	}
-	total := 0
-	for p := Port(0); p < numPorts; p++ {
-		total += len(r.in[p])
-	}
-	// Flattened candidate index -> (port, vc).
-	lookup := func(idx int) (Port, int) {
-		for p := Port(0); p < numPorts; p++ {
-			if idx < len(r.in[p]) {
-				return p, idx
-			}
-			idx -= len(r.in[p])
-		}
-		return Local, 0
-	}
+	total := r.vcTotal
 	start := r.rr[out]
 	for k := 0; k < total; k++ {
 		idx := (start + k) % total
-		p, v := lookup(idx)
+		p, v := r.vcAt(idx)
 		vc := &r.in[p][v]
 		if vc.empty() || vc.outPort != out {
 			continue
@@ -407,10 +440,13 @@ func (n *Network) allocateSwitch(r *router, out Port) {
 			continue // waiting for VC allocation
 		}
 		dst := &downstream.in[downPort][vc.outVC]
-		if dst.len()+n.incoming[dst] >= dst.cap {
+		if dst.len()+dst.incoming >= dst.cap {
 			continue // no credit
 		}
-		n.incoming[dst]++
+		if dst.incoming == 0 {
+			n.touched = append(n.touched, dst)
+		}
+		dst.incoming++
 		n.moves = append(n.moves, move{
 			from: r, fromPort: p, fromVC: v, outPort: out,
 			to: downstream, toPort: downPort, toVC: vc.outVC,

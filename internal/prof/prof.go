@@ -1,0 +1,88 @@
+// Package prof wires the standard pprof/trace collectors to command
+// line flags. It exists so every binary in this repo exposes the same
+// -cpuprofile/-memprofile/execution-trace surface without duplicating
+// the start/stop choreography (the CPU profile and execution trace must
+// be stopped, and the heap snapshot taken, after the workload ran).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start enables the collectors whose paths are non-empty and returns a
+// stop function that flushes them; the stop function must run after the
+// measured work and before process exit. An empty path disables that
+// collector, so Start("", "", "") is a no-op.
+func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting cpu profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: starting execution trace: %w", err)
+		}
+	}
+
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing cpu profile: %w", err)
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing execution trace: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			runtime.GC() // materialize the final live set
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if werr != nil {
+				return fmt.Errorf("prof: writing heap profile: %w", werr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("prof: closing heap profile: %w", cerr)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -6,7 +6,8 @@ import (
 	"potsim/internal/sim"
 )
 
-// BenchmarkPlan measures one scheduling epoch over a 64-core snapshot.
+// BenchmarkPlan measures one scheduling epoch over a 64-core snapshot,
+// including the completion bookkeeping for every admitted launch.
 func BenchmarkPlan(b *testing.B) {
 	p, err := NewPOTS(benchConfig(64))
 	if err != nil {
@@ -17,6 +18,7 @@ func BenchmarkPlan(b *testing.B) {
 		cores[i] = CoreSnapshot{ID: i, Idle: i%2 == 0, TempK: 320,
 			Stress: float64(i) / 64, Util: float64(63-i) / 64}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now := sim.Time(i+1) * 100 * sim.Microsecond
@@ -24,6 +26,27 @@ func BenchmarkPlan(b *testing.B) {
 		for _, d := range dec {
 			p.OnTestComplete(d.Core, d.Level, now)
 		}
+	}
+}
+
+// BenchmarkSchedulerPlan isolates Plan itself — candidate collection,
+// criticality ranking and power admission — with no completion traffic,
+// pinning the steady-state planning cost and its zero-allocation budget.
+func BenchmarkSchedulerPlan(b *testing.B) {
+	p, err := NewPOTS(benchConfig(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores := make([]CoreSnapshot, 64)
+	for i := range cores {
+		cores[i] = CoreSnapshot{ID: i, Idle: i%2 == 0, TempK: 320,
+			Stress: float64(i) / 64, Util: float64(63-i) / 64}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := sim.Time(i+1) * 100 * sim.Microsecond
+		p.Plan(now, cores, 5)
 	}
 }
 

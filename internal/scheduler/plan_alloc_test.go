@@ -1,0 +1,37 @@
+package scheduler
+
+import (
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+// TestPlanZeroAllocSteadyState pins POTS.Plan to zero allocations once
+// its scratch buffers are warm, for both the criticality ranking and the
+// round-robin (Periodic) orderings.
+func TestPlanZeroAllocSteadyState(t *testing.T) {
+	build := []func() (*POTS, error){
+		func() (*POTS, error) { return NewPOTS(testConfig(64)) },
+		func() (*POTS, error) { return NewPeriodic(testConfig(64)) },
+	}
+	for _, mk := range build {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores := make([]CoreSnapshot, 64)
+		for i := range cores {
+			cores[i] = CoreSnapshot{ID: i, Idle: i%2 == 0, TempK: 320,
+				Stress: float64(i) / 64, Util: float64(63-i) / 64}
+		}
+		now := sim.Time(0)
+		p.Plan(100*sim.Microsecond, cores, 5) // warm the scratch buffers
+		allocs := testing.AllocsPerRun(200, func() {
+			now += 100 * sim.Microsecond
+			p.Plan(now, cores, 5)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s.Plan allocates %.1f per epoch, want 0", p.Name(), allocs)
+		}
+	}
+}

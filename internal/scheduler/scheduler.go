@@ -43,7 +43,9 @@ type Policy interface {
 	Name() string
 	// Plan returns the test launches for this epoch. powerSlackW is the
 	// headroom under the TDP after workload power; power-aware policies
-	// must fit their launches inside it.
+	// must fit their launches inside it. The returned slice is only valid
+	// until the next Plan call on the same policy (implementations reuse
+	// scratch buffers); callers consume it immediately.
 	Plan(now sim.Time, cores []CoreSnapshot, powerSlackW float64) []Decision
 	// OnTestComplete informs the policy a test finished on core at the
 	// given DVFS level.
@@ -102,7 +104,53 @@ type POTS struct {
 	nextRtn   []int
 	rrCursor  int
 
+	// Plan scratch state, reused across epochs so the steady-state epoch
+	// loop schedules without allocating: candidate and decision buffers
+	// plus pre-allocated sort.Interface adapters (a heap-held pointer
+	// passed to sort.Sort does not box).
+	cands   []planCand
+	plan    []Decision
+	urgSort urgSorter
+	rrSort  rrSorter
+
 	stats Stats
+}
+
+// planCand is one admissible idle core considered by Plan.
+type planCand struct {
+	snap CoreSnapshot
+	urg  float64
+}
+
+// urgSorter orders candidates by descending urgency, tie-broken by
+// ascending core ID. Unique IDs make this a strict total order, so any
+// correct sort algorithm produces the identical permutation the previous
+// sort.Slice call did.
+type urgSorter struct{ c []planCand }
+
+func (s *urgSorter) Len() int      { return len(s.c) }
+func (s *urgSorter) Swap(i, j int) { s.c[i], s.c[j] = s.c[j], s.c[i] }
+func (s *urgSorter) Less(i, j int) bool {
+	if s.c[i].urg != s.c[j].urg {
+		return s.c[i].urg > s.c[j].urg
+	}
+	return s.c[i].snap.ID < s.c[j].snap.ID
+}
+
+// rrSorter orders candidates by round-robin distance from the epoch's
+// cursor — unique IDs again make the key a strict total order.
+type rrSorter struct {
+	c      []planCand
+	n      int
+	cursor int
+}
+
+func (s *rrSorter) Len() int      { return len(s.c) }
+func (s *rrSorter) Swap(i, j int) { s.c[i], s.c[j] = s.c[j], s.c[i] }
+func (s *rrSorter) Less(i, j int) bool {
+	a := (s.c[i].snap.ID - s.cursor + s.n) % s.n
+	b := (s.c[j].snap.ID - s.cursor + s.n) % s.n
+	return a < b
 }
 
 // Stats counts scheduler activity over a run.
@@ -199,13 +247,11 @@ func (p *POTS) estimatePower(r sbst.Routine, level int, tempK float64) float64 {
 	return p.model.Core(pt.Voltage, pt.FreqHz, r.MeanActivity(), tempK).Total()
 }
 
-// Plan implements Policy.
+// Plan implements Policy. The returned slice is scratch state reused by
+// the next Plan call; callers consume it before planning again (the epoch
+// loop launches the decisions immediately).
 func (p *POTS) Plan(now sim.Time, cores []CoreSnapshot, powerSlackW float64) []Decision {
-	type cand struct {
-		snap CoreSnapshot
-		urg  float64
-	}
-	var cands []cand
+	cands := p.cands[:0]
 	inFlight := 0
 	for _, c := range cores {
 		if c.Testing {
@@ -222,30 +268,23 @@ func (p *POTS) Plan(now sim.Time, cores []CoreSnapshot, powerSlackW float64) []D
 		if p.opts.UseCriticality && urg < p.opts.MinCriticality {
 			continue
 		}
-		cands = append(cands, cand{snap: c, urg: urg})
+		cands = append(cands, planCand{snap: c, urg: urg})
 	}
+	p.cands = cands
 	if p.opts.UseCriticality {
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].urg != cands[j].urg {
-				return cands[i].urg > cands[j].urg
-			}
-			return cands[i].snap.ID < cands[j].snap.ID
-		})
+		p.urgSort.c = cands
+		sort.Sort(&p.urgSort)
 	} else {
 		// Round-robin start point so low-numbered cores are not favoured.
-		sort.Slice(cands, func(i, j int) bool {
-			n := len(cores)
-			a := (cands[i].snap.ID - p.rrCursor + n) % n
-			b := (cands[j].snap.ID - p.rrCursor + n) % n
-			return a < b
-		})
+		p.rrSort.c, p.rrSort.n, p.rrSort.cursor = cands, len(cores), p.rrCursor
+		sort.Sort(&p.rrSort)
 		if len(cores) > 0 {
 			p.rrCursor = (p.rrCursor + 1) % len(cores)
 		}
 	}
 
 	slack := powerSlackW
-	var out []Decision
+	out := p.plan[:0]
 	for _, c := range cands {
 		if p.opts.MaxConcurrent > 0 && inFlight+len(out) >= p.opts.MaxConcurrent {
 			break
@@ -267,6 +306,7 @@ func (p *POTS) Plan(now sim.Time, cores []CoreSnapshot, powerSlackW float64) []D
 		out = append(out, Decision{Core: core, Routine: rtn, Level: level})
 		p.stats.Started++
 	}
+	p.plan = out
 	return out
 }
 

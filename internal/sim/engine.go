@@ -12,17 +12,25 @@ type Handler func(e *Engine)
 
 // event is a scheduled callback. Events firing at the same instant are
 // ordered first by class and then by sequence number (FIFO), which keeps
-// runs deterministic.
+// runs deterministic. Fired and cancelled events are recycled through the
+// engine's freelist; gen distinguishes incarnations so a stale EventID
+// can never cancel the slot's next occupant.
 type event struct {
 	at      Time
 	class   uint8
 	seq     uint64
+	gen     uint64
 	handler Handler
 	index   int // heap index; -1 once popped or cancelled
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. It stays
+// valid (as a no-op) after the event fires, even though the underlying
+// slot is recycled for later events.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 // eventQueue is a binary min-heap ordered by (at, class, seq).
 type eventQueue []*event
@@ -69,6 +77,9 @@ type Engine struct {
 	queue   eventQueue
 	stopped bool
 	fired   uint64
+	// free recycles fired/cancelled event slots so a steady-state event
+	// loop (periodic ticks, arrival chains) schedules without allocating.
+	free []*event
 }
 
 // NewEngine returns an engine with its clock at zero.
@@ -105,10 +116,27 @@ func (e *Engine) ScheduleClass(at Time, class uint8, handler Handler) (EventID, 
 	if at < e.now {
 		return EventID{}, fmt.Errorf("%w: at=%v now=%v", ErrPast, at, e.now)
 	}
-	ev := &event{at: at, class: class, seq: e.seq, handler: handler}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.class, ev.seq, ev.handler = at, class, e.seq, handler
+	} else {
+		ev = &event{at: at, class: class, seq: e.seq, handler: handler}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}, nil
+	return EventID{ev: ev, gen: ev.gen}, nil
+}
+
+// recycle returns a popped or removed event slot to the freelist. The
+// generation bump invalidates every EventID issued for the old
+// incarnation; dropping the handler reference releases its closure.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.handler = nil
+	e.free = append(e.free, ev)
 }
 
 // After registers handler to fire delay after the current time.
@@ -124,11 +152,12 @@ func (e *Engine) After(delay Time, handler Handler) EventID {
 // already-cancelled event is a no-op and reports false.
 func (e *Engine) Cancel(id EventID) bool {
 	ev := id.ev
-	if ev == nil || ev.index < 0 {
+	if ev == nil || ev.index < 0 || ev.gen != id.gen {
 		return false
 	}
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
+	e.recycle(ev)
 	return true
 }
 
@@ -144,7 +173,11 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	e.fired++
-	ev.handler(e)
+	h := ev.handler
+	// Recycle before invoking: the handler may schedule follow-ups, which
+	// can then reuse this very slot without touching the allocator.
+	e.recycle(ev)
+	h(e)
 	return true
 }
 

@@ -1,0 +1,116 @@
+package sim
+
+import "testing"
+
+// TestCancelStaleIDIsNoOp: once an event fires, its slot is recycled for
+// later events; a held EventID from the fired incarnation must not cancel
+// the slot's new occupant.
+func TestCancelStaleIDIsNoOp(t *testing.T) {
+	e := NewEngine()
+	firstID, err := e.Schedule(1, func(*Engine) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Step() {
+		t.Fatal("no event fired")
+	}
+	ran := false
+	secondID, err := e.Schedule(2, func(*Engine) { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstID.ev != secondID.ev {
+		t.Fatalf("freelist did not recycle the slot (got distinct events)")
+	}
+	if e.Cancel(firstID) {
+		t.Fatal("stale EventID cancelled a recycled event")
+	}
+	if !e.Step() || !ran {
+		t.Fatal("recycled event did not fire after stale cancel attempt")
+	}
+	if e.Cancel(secondID) {
+		t.Fatal("cancelling an already-fired event reported true")
+	}
+}
+
+// TestCancelRecyclesSlot: a cancelled event's slot is reusable and its
+// old ID is dead.
+func TestCancelRecyclesSlot(t *testing.T) {
+	e := NewEngine()
+	id, err := e.Schedule(5, func(*Engine) { t.Fatal("cancelled event fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cancel(id) {
+		t.Fatal("first cancel failed")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double cancel reported true")
+	}
+	ran := false
+	id2, err := e.Schedule(6, func(*Engine) { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2.ev != id.ev {
+		t.Fatal("cancelled slot was not recycled")
+	}
+	e.RunUntil(10)
+	if !ran {
+		t.Fatal("event scheduled into recycled slot never fired")
+	}
+}
+
+// TestSteadyStateSchedulingZeroAlloc pins the fire-and-reschedule pattern
+// (the epoch tick, the arrival chain) to zero allocations once the
+// freelist is warm.
+func TestSteadyStateSchedulingZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	var tick Handler
+	tick = func(en *Engine) {
+		if _, err := en.Schedule(en.Now()+1, tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Schedule(1, tick); err != nil {
+		t.Fatal(err)
+	}
+	e.Step() // warm the freelist
+	allocs := testing.AllocsPerRun(500, func() {
+		if !e.Step() {
+			t.Fatal("queue drained")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocates %.1f per event, want 0", allocs)
+	}
+}
+
+// TestFreelistPreservesOrdering re-checks the (at, class, seq) ordering
+// contract under heavy recycle pressure.
+func TestFreelistPreservesOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for round := 0; round < 10; round++ {
+		base := Time(round*100 + 10)
+		// Schedule out of order, same timestamps, mixed classes.
+		for i := 4; i >= 0; i-- {
+			i := i
+			if _, err := e.ScheduleClass(base, uint8(i%2), func(*Engine) {
+				got = append(got, i)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e.Step() {
+		}
+		// Class 0 first (seq order within class: 4,2,0), then class 1 (3,1).
+		want := []int{4, 2, 0, 3, 1}
+		for k, w := range want {
+			if got[k] != w {
+				t.Fatalf("round %d: fired order %v, want %v", round, got, want)
+			}
+		}
+		got = got[:0]
+	}
+}

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"fmt"
 	"testing"
 
 	"potsim/internal/sim"
@@ -16,10 +17,33 @@ func BenchmarkAdvanceEpoch(b *testing.B) {
 	for i := range p {
 		p[i] = 0.5
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := g.Advance(sim.Time(i+1)*100*sim.Microsecond, p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkThermalStep measures the raw forward-Euler kernel (one full
+// MaxStepS substep, no Advance bookkeeping) across grid sizes.
+func BenchmarkThermalStep(b *testing.B) {
+	for _, side := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("cores=%d", side*side), func(b *testing.B) {
+			g, err := NewGrid(DefaultConfig(side, side))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := make([]float64, g.Cores())
+			for i := range p {
+				p[i] = 0.5
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.step(g.cfg.MaxStepS, p)
+			}
+		})
 	}
 }

@@ -1,0 +1,131 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+// referenceStep is the pre-optimization kernel, kept verbatim as the
+// oracle: branchy per-cell neighbour terms, scratch write, copy-back.
+// The reworked step must match it bit for bit on every grid shape.
+func referenceStep(g *Grid, dt float64, powerW []float64) {
+	w, h := g.cfg.Width, g.cfg.Height
+	gv := 1 / g.cfg.RVertical
+	gl := 1 / g.cfg.RLateral
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			t := g.tempK[i]
+			flow := powerW[i] - (t-g.cfg.AmbientK)*gv
+			if x > 0 {
+				flow += (g.tempK[i-1] - t) * gl
+			}
+			if x < w-1 {
+				flow += (g.tempK[i+1] - t) * gl
+			}
+			if y > 0 {
+				flow += (g.tempK[i-w] - t) * gl
+			}
+			if y < h-1 {
+				flow += (g.tempK[i+w] - t) * gl
+			}
+			g.scratch[i] = t + dt*flow/g.cfg.Capacitance
+		}
+	}
+	copy(g.tempK, g.scratch)
+}
+
+// TestStepMatchesReferenceBitExact integrates two identically-seeded
+// grids, one with the reworked kernel and one with the original, and
+// requires bit-identical temperature fields after every substep. Grid
+// shapes cover the branch-free interior path (>=3x3), the fallback path
+// (thin grids), and non-square meshes.
+func TestStepMatchesReferenceBitExact(t *testing.T) {
+	shapes := []struct{ w, h int }{
+		{1, 1}, {2, 2}, {1, 8}, {8, 1}, {2, 5}, {3, 3}, {4, 4}, {8, 8}, {5, 3}, {3, 7}, {16, 16},
+	}
+	for _, sh := range shapes {
+		opt, err := NewGrid(DefaultConfig(sh.w, sh.h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewGrid(DefaultConfig(sh.w, sh.h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(sh.w*100 + sh.h)))
+		p := make([]float64, opt.Cores())
+		for step := 0; step < 50; step++ {
+			for i := range p {
+				p[i] = rng.Float64() * 1.5
+			}
+			dt := opt.cfg.MaxStepS
+			if step%7 == 0 {
+				dt = opt.cfg.MaxStepS * rng.Float64() // partial substeps too
+			}
+			opt.step(dt, p)
+			referenceStep(ref, dt, p)
+			for i := range ref.tempK {
+				if math.Float64bits(opt.tempK[i]) != math.Float64bits(ref.tempK[i]) {
+					t.Fatalf("%dx%d step %d core %d: optimized %v != reference %v",
+						sh.w, sh.h, step, i, opt.tempK[i], ref.tempK[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAdvancePeakMatchesFinalField checks the fused peak tracking: the
+// running peak must equal the maximum over post-Advance fields, exactly
+// as the old separate scan observed it (intermediate substep maxima are
+// not sampled).
+func TestAdvancePeakMatchesFinalField(t *testing.T) {
+	g, err := NewGrid(DefaultConfig(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, g.Cores())
+	rng := rand.New(rand.NewSource(42))
+	want := g.cfg.AmbientK
+	for step := 1; step <= 40; step++ {
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		// 1ms interval = several MaxStepS substeps per Advance.
+		if err := g.Advance(sim.Time(step)*sim.Millisecond, p); err != nil {
+			t.Fatal(err)
+		}
+		if m := g.MaxTemperature(); m > want {
+			want = m
+		}
+		if g.PeakEver() != want {
+			t.Fatalf("step %d: PeakEver %v, want max over observed fields %v", step, g.PeakEver(), want)
+		}
+	}
+}
+
+// TestAdvanceZeroAlloc pins the integrator to zero allocations per call,
+// the property that keeps the epoch loop allocation-free.
+func TestAdvanceZeroAlloc(t *testing.T) {
+	g, err := NewGrid(DefaultConfig(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, g.Cores())
+	for i := range p {
+		p[i] = 0.5
+	}
+	now := sim.Time(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		now += 100 * sim.Microsecond
+		if err := g.Advance(now, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Grid.Advance allocates %.1f per call, want 0", allocs)
+	}
+}

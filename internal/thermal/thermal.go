@@ -122,45 +122,108 @@ func (g *Grid) Advance(now sim.Time, powerW []float64) error {
 		return fmt.Errorf("thermal: time went backwards %v -> %v", g.lastAt, now)
 	}
 	g.lastAt = now
+	if total <= 0 {
+		// Zero-length interval: no integration, but keep the historical
+		// behaviour of folding the current field into the running peak.
+		for _, t := range g.tempK {
+			if t > g.peakK {
+				g.peakK = t
+			}
+		}
+		return nil
+	}
+	// Each substep reports the hottest temperature it wrote; only the
+	// final substep's value is the post-interval field, matching the
+	// separate scan this loop used to run after integration.
+	var peak float64
 	for total > 0 {
 		dt := math.Min(total, g.cfg.MaxStepS)
-		g.step(dt, powerW)
+		peak = g.step(dt, powerW)
 		total -= dt
 	}
-	for _, t := range g.tempK {
-		if t > g.peakK {
-			g.peakK = t
-		}
+	if peak > g.peakK {
+		g.peakK = peak
 	}
 	return nil
 }
 
-// step performs one forward-Euler update of length dt seconds.
-func (g *Grid) step(dt float64, powerW []float64) {
+// step performs one forward-Euler update of length dt seconds and returns
+// the hottest temperature written. The new field is built in the scratch
+// buffer and the two buffers are swapped — no copy-back pass. Neighbour
+// heat-flow terms accumulate in the fixed order left, right, up, down
+// (the original branch order), and the update expression is kept verbatim
+// as t + dt*flow/C, so the floating-point result is bit-identical to the
+// pre-optimization kernel.
+func (g *Grid) step(dt float64, powerW []float64) float64 {
 	w, h := g.cfg.Width, g.cfg.Height
 	gv := 1 / g.cfg.RVertical
 	gl := 1 / g.cfg.RLateral
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			i := y*w + x
-			t := g.tempK[i]
-			flow := powerW[i] - (t-g.cfg.AmbientK)*gv
-			if x > 0 {
-				flow += (g.tempK[i-1] - t) * gl
-			}
-			if x < w-1 {
-				flow += (g.tempK[i+1] - t) * gl
-			}
-			if y > 0 {
-				flow += (g.tempK[i-w] - t) * gl
-			}
-			if y < h-1 {
-				flow += (g.tempK[i+w] - t) * gl
-			}
-			g.scratch[i] = t + dt*flow/g.cfg.Capacitance
+	amb := g.cfg.AmbientK
+	capJ := g.cfg.Capacitance
+	tempK, scratch := g.tempK, g.scratch
+	peak := math.Inf(-1)
+
+	// cell handles a boundary node, where the neighbour terms depend on
+	// position. Interior nodes take the branch-free loop below instead.
+	cell := func(i, x, y int) {
+		t := tempK[i]
+		flow := powerW[i] - (t-amb)*gv
+		if x > 0 {
+			flow += (tempK[i-1] - t) * gl
+		}
+		if x < w-1 {
+			flow += (tempK[i+1] - t) * gl
+		}
+		if y > 0 {
+			flow += (tempK[i-w] - t) * gl
+		}
+		if y < h-1 {
+			flow += (tempK[i+w] - t) * gl
+		}
+		nt := t + dt*flow/capJ
+		scratch[i] = nt
+		if nt > peak {
+			peak = nt
 		}
 	}
-	copy(g.tempK, g.scratch)
+
+	if w >= 3 && h >= 3 {
+		// Boundary rows/columns take the branchy path; the interior —
+		// the bulk of the cells on production meshes — has all four
+		// neighbours by construction and runs without bounds branches.
+		for x := 0; x < w; x++ {
+			cell(x, x, 0)
+		}
+		for y := 1; y < h-1; y++ {
+			row := y * w
+			cell(row, 0, y)
+			for i := row + 1; i < row+w-1; i++ {
+				t := tempK[i]
+				flow := powerW[i] - (t-amb)*gv
+				flow += (tempK[i-1] - t) * gl
+				flow += (tempK[i+1] - t) * gl
+				flow += (tempK[i-w] - t) * gl
+				flow += (tempK[i+w] - t) * gl
+				nt := t + dt*flow/capJ
+				scratch[i] = nt
+				if nt > peak {
+					peak = nt
+				}
+			}
+			cell(row+w-1, w-1, y)
+		}
+		for x := 0; x < w; x++ {
+			cell((h-1)*w+x, x, h-1)
+		}
+	} else {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				cell(y*w+x, x, y)
+			}
+		}
+	}
+	g.tempK, g.scratch = scratch, tempK
+	return peak
 }
 
 // CheckSane reports the first core whose temperature is non-finite or

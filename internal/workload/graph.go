@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"potsim/internal/sim"
 )
@@ -29,6 +30,31 @@ type Task struct {
 	// CommFlits[d] is the message size in flits sent to successor d when
 	// this task completes.
 	CommFlits map[int]int
+
+	// succs caches the CommFlits keys in ascending order. Validate fills
+	// it so the runtime never re-sorts the map on the fire path; unexported
+	// so JSON snapshots are unchanged (Restore re-validates and refills).
+	succs []int
+}
+
+// Successors returns the task's CommFlits destinations in ascending ID
+// order. On a validated graph this is the precomputed cache; otherwise it
+// sorts a fresh slice, so callers see the same order either way.
+func (t *Task) Successors() []int {
+	if t.succs == nil && len(t.CommFlits) > 0 {
+		return sortedSuccessors(t)
+	}
+	return t.succs
+}
+
+// sortedSuccessors builds the ascending successor order from scratch.
+func sortedSuccessors(t *Task) []int {
+	ids := make([]int, 0, len(t.CommFlits))
+	for id := range t.CommFlits {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // Graph is an application: a DAG of tasks executed in streaming fashion.
@@ -88,6 +114,9 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("workload: graph %q task %d sends to unknown task %d", g.Name, i, dst)
 			}
 		}
+		// Cache the sorted successor order so the per-fire hot path never
+		// sorts the map again (see Task.Successors).
+		g.Tasks[i].succs = sortedSuccessors(&g.Tasks[i])
 	}
 	if _, err := g.TopoOrder(); err != nil {
 		return err

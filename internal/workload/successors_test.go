@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+// oldSortedOrder is the pre-cache reference: collect the CommFlits keys
+// and sort them, exactly as the fire path used to do per invocation.
+func oldSortedOrder(t *Task) []int {
+	ids := make([]int, 0, len(t.CommFlits))
+	for id := range t.CommFlits {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// TestSuccessorCacheMatchesSortedMapOrder pins the cached successor order
+// to the old per-fire sorted-map order on every library graph and on a
+// stream of generated graphs, so the cache can never drift from the
+// deterministic injection order PR 2 established.
+func TestSuccessorCacheMatchesSortedMapOrder(t *testing.T) {
+	graphs := Library()
+	src, err := NewSource(DefaultMix(), 2*sim.Millisecond, sim.NewRNG(7).Stream("succ-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		a, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, a.Graph)
+	}
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		for i := range g.Tasks {
+			task := &g.Tasks[i]
+			want := oldSortedOrder(task)
+			got := task.Successors()
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s task %d: cached successors %v != sorted-map order %v",
+					g.Name, task.ID, got, want)
+			}
+		}
+	}
+}
+
+// TestSuccessorsWithoutValidate checks the fallback path: a graph that
+// never went through Validate still reports the same sorted order.
+func TestSuccessorsWithoutValidate(t *testing.T) {
+	task := Task{ID: 0, CommFlits: map[int]int{3: 8, 1: 4, 2: 2}}
+	if got, want := task.Successors(), []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback order %v, want %v", got, want)
+	}
+	var none Task
+	if got := none.Successors(); len(got) != 0 {
+		t.Fatalf("task with no edges reports successors %v", got)
+	}
+}
+
+// TestSuccessorsZeroAllocAfterValidate pins the cached accessor to zero
+// allocations — the property that removes the per-fire sort+alloc from
+// the epoch hot path.
+func TestSuccessorsZeroAllocAfterValidate(t *testing.T) {
+	g := Library()[0]
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range g.Tasks {
+			sink += len(g.Tasks[i].Successors())
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Successors on a validated graph allocates %.1f per run, want 0", allocs)
+	}
+	_ = sink
+}
