@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench bench-gate bench-baseline experiments quick-experiments examples fmt clean
+.PHONY: all build vet test lint lint-fix-report bench bench-gate bench-baseline experiments quick-experiments examples fmt clean
 
 # Benchmarks gated against bench/baseline.txt by bench-gate (and CI).
 BENCH_GATE = BenchmarkSystemEpoch$$|BenchmarkNoCStep$$
@@ -21,6 +21,20 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Static analysis, dependency-light: go vet, formatting, and potsim's
+# own determinism/hot-path/durability analyzers (cmd/potlint). Needs
+# nothing beyond the go toolchain — no network, no installed tools.
+lint:
+	$(GO) vet ./...
+	test -z "$$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files need formatting" >&2; exit 1; }
+	$(GO) run ./cmd/potlint ./...
+
+# Machine-readable potlint findings (empty JSON array when clean), for
+# editors and review tooling.
+lint-fix-report:
+	$(GO) run ./cmd/potlint -json ./... > potlint-report.json; \
+	status=$$?; cat potlint-report.json; exit $$status
 
 # Regenerate every reproduction benchmark (quick mode) with allocations,
 # keeping the raw capture and a dated JSON summary (see cmd/benchreport).

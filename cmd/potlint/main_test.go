@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"potsim/internal/lint"
+)
+
+// runPotlint invokes run() as the CLI would, capturing both streams.
+func runPotlint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestFixtureFindings is the acceptance check from the issue: seeding
+// the PR-2 flit bug (map-order injection in FireFirstIteration) or a
+// time.Now() into internal/core makes potlint fail. The fixture module
+// carries both, plus a discarded Snapshot error.
+func TestFixtureFindings(t *testing.T) {
+	code, stdout, stderr := runPotlint(t, "-C", "testdata/fixture", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	for _, wanted := range []string{
+		"core.go",
+		"map iteration order is randomized",
+		"time.Now reads the host clock",
+		"error from Engine.Snapshot is assigned to _",
+	} {
+		if !strings.Contains(stdout, wanted) {
+			t.Errorf("stdout missing %q:\n%s", wanted, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing findings summary: %s", stderr)
+	}
+	if strings.Contains(stdout, "clean.go") {
+		t.Errorf("the clean package must not be flagged:\n%s", stdout)
+	}
+}
+
+func TestFixtureJSON(t *testing.T) {
+	code, stdout, stderr := runPotlint(t, "-C", "testdata/fixture", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout)
+	}
+	analyzers := map[string]bool{}
+	for _, d := range diags {
+		analyzers[d.Analyzer] = true
+		if d.Pos.Filename == "" || d.Pos.Line == 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+	}
+	for _, a := range []string{"maporder", "wallclock", "snaperr"} {
+		if !analyzers[a] {
+			t.Errorf("expected a %s finding in %v", a, diags)
+		}
+	}
+}
+
+func TestChecksFilter(t *testing.T) {
+	code, stdout, stderr := runPotlint(t, "-C", "testdata/fixture", "-checks", "wallclock", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "time.Now") {
+		t.Errorf("wallclock finding missing:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "map iteration order") {
+		t.Errorf("-checks wallclock must filter out maporder:\n%s", stdout)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := runPotlint(t, "-C", "testdata/fixture", "./internal/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, stdout, stderr)
+	}
+	if strings.TrimSpace(stdout) != "" {
+		t.Errorf("clean run should print nothing, got:\n%s", stdout)
+	}
+}
+
+func TestAnalyzersFlagListsSuite(t *testing.T) {
+	code, stdout, _ := runPotlint(t, "-analyzers")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("-analyzers output missing %s:\n%s", a.Name, stdout)
+		}
+	}
+}
+
+func TestUnknownCheckFails(t *testing.T) {
+	code, _, stderr := runPotlint(t, "-checks", "nosuch", "./...")
+	if code != 1 || !strings.Contains(stderr, "nosuch") {
+		t.Fatalf("exit = %d, stderr = %q; want failure naming the bad analyzer", code, stderr)
+	}
+}
+
+// TestVersionHandshake checks the -V=full line cmd/go keys its vet
+// cache on: one line, "<name> version <id>".
+func TestVersionHandshake(t *testing.T) {
+	code, stdout, stderr := runPotlint(t, "-V=full")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !regexp.MustCompile(`^\S+ version devel buildID=[0-9a-f]+\n$`).MatchString(stdout) {
+		t.Fatalf("malformed -V=full line: %q", stdout)
+	}
+}
+
+// TestFlagsProbe checks the -flags probe cmd/go issues before first
+// use: a JSON array (empty — potlint takes none of vet's flags).
+func TestFlagsProbe(t *testing.T) {
+	code, stdout, _ := runPotlint(t, "-flags")
+	if code != 0 || strings.TrimSpace(stdout) != "[]" {
+		t.Fatalf("-flags: exit %d, stdout %q; want 0 and []", code, stdout)
+	}
+}
+
+func TestVetModeBadConfig(t *testing.T) {
+	code, _, stderr := runPotlint(t, filepath.Join(t.TempDir(), "missing.cfg"))
+	if code != 1 || !strings.Contains(stderr, "potlint:") {
+		t.Fatalf("missing cfg: exit %d, stderr %q; want 1 with error", code, stderr)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.cfg")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runPotlint(t, bad)
+	if code != 1 || !strings.Contains(stderr, "parsing") {
+		t.Fatalf("bad cfg: exit %d, stderr %q; want 1 with parse error", code, stderr)
+	}
+}

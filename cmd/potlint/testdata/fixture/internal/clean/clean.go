@@ -1,0 +1,14 @@
+// Package clean contains only deterministic, allocation-honest code;
+// potlint must report nothing here.
+package clean
+
+import "sort"
+
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

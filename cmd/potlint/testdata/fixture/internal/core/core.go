@@ -1,0 +1,38 @@
+// Package core reproduces, in miniature, the two determinism bugs the
+// lint suite exists to catch — the PR-2 flit-injection map range and a
+// wall-clock read in the epoch loop — plus a discarded snapshot error.
+package core
+
+import "time"
+
+type Task struct {
+	CommFlits map[int]int
+}
+
+type Engine struct {
+	started  time.Time
+	injected []int
+}
+
+func (e *Engine) inject(dst, flits int) { e.injected = append(e.injected, dst) }
+
+func (e *Engine) Snapshot() ([]byte, error) { return nil, nil }
+
+// FireFirstIteration is the PR-2 bug shape: packets enter the NoC in
+// map-iteration order, so identical seeds drift router arbitration.
+func (e *Engine) FireFirstIteration(t *Task) {
+	for dst, flits := range t.CommFlits {
+		e.inject(dst, flits)
+	}
+}
+
+// StartEpoch reads the host clock inside a simulation package.
+func (e *Engine) StartEpoch() {
+	e.started = time.Now()
+}
+
+// Checkpoint drops the snapshot error on the floor.
+func (e *Engine) Checkpoint() []byte {
+	b, _ := e.Snapshot()
+	return b
+}

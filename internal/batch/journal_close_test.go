@@ -1,0 +1,28 @@
+package batch
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalCloseReportsFailure pins the contract the expt suite
+// runner relies on: Journal.Close surfaces the underlying file error
+// instead of swallowing it. runCells joins this error into its own
+// return value (it used to be discarded by a bare defer), so a journal
+// whose final flush failed turns the whole suite red rather than
+// leaving a silently torn record behind.
+func TestJournalCloseReportsFailure(t *testing.T) {
+	j, cached, err := OpenJournal(filepath.Join(t.TempDir(), "suite.journal"), "meta-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached) != 0 {
+		t.Fatalf("fresh journal has %d cached cells", len(cached))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := j.Close(); err == nil {
+		t.Fatal("second Close returned nil; file errors must propagate to the caller")
+	}
+}

@@ -490,12 +490,16 @@ func (s *System) Run() (*Report, error) {
 // fire and no checkpoints are taken. It exists for steady-state
 // benchmarking and deterministic micro-drivers; Run remains the normal
 // entry point and the two must not be interleaved on one System.
+//
+//potlint:allocfree
 func (s *System) StepEpoch() error {
 	return s.epoch(s.lastEpochAt + s.cfg.Epoch)
 }
 
 // epoch is the per-control-period body: integrate the elapsed interval,
 // then make mapping / power / test decisions for the next one.
+//
+//potlint:allocfree
 func (s *System) epoch(now sim.Time) error {
 	dt := now - s.lastEpochAt
 	if dt < 0 {
@@ -735,6 +739,8 @@ func (s *System) timeOfCycle(c int64) sim.Time {
 
 // pumpFlitNet advances the co-simulated network to now and applies every
 // delivery to its waiting consumer.
+//
+//potlint:allocfree
 func (s *System) pumpFlitNet(now sim.Time) {
 	if s.flitNet == nil {
 		return
@@ -770,6 +776,8 @@ func (s *System) pumpFlitNet(now sim.Time) {
 }
 
 // advance integrates tasks, tests, power, heat and aging over (now-dt,now].
+//
+//potlint:allocfree
 func (s *System) advance(now sim.Time, dt sim.Time) error {
 	s.pumpFlitNet(now)
 	// powerVec is fully written below (every core, no early exit); the
@@ -1012,6 +1020,8 @@ func (s *System) beginTask(tr *taskRun) {
 // fireFirstIteration delivers a task's first frame to its successors:
 // their dependency counts drop and their start is delayed by the NoC
 // communication latency of the produced data.
+//
+//potlint:allocfree
 func (s *System) fireFirstIteration(tr *taskRun, now sim.Time) {
 	tr.iterFired = true
 	app := tr.app

@@ -11,6 +11,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -117,7 +118,7 @@ type cell struct {
 // first. On error the report slice is still returned, with nil entries
 // for the cells that failed, so experiments can degrade to partial
 // tables instead of discarding the surviving results.
-func (r *Runner) runCells(id string, cells []cell) ([]*core.Report, error) {
+func (r *Runner) runCells(id string, cells []cell) (reports []*core.Report, retErr error) {
 	ctx := r.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -143,9 +144,15 @@ func (r *Runner) runCells(id string, cells []cell) ([]*core.Report, error) {
 		return make([]*core.Report, len(cells)), fmt.Errorf("%s: %w", id, err)
 	}
 	if j != nil {
-		defer j.Close()
+		// A failed close can mean the final journal write never hit the
+		// disk, so it must surface as a suite error, not vanish.
+		defer func() {
+			if cerr := j.Close(); cerr != nil {
+				retErr = errors.Join(retErr, fmt.Errorf("%s: closing journal: %w", id, cerr))
+			}
+		}()
 	}
-	reports, err := batch.MapJournaled(ctx, opts, len(cells), j, cached, runOne)
+	reports, err = batch.MapJournaled(ctx, opts, len(cells), j, cached, runOne)
 	if reports == nil {
 		reports = make([]*core.Report, len(cells))
 	}

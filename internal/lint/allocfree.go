@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocFree checks functions annotated `//potlint:allocfree` (in the
+// doc comment) for constructs that allocate on the steady path: the
+// epoch hot loop, thermal kernel, mapping BFS, and NoC step earned
+// AllocsPerRun == 0 in PR 4, and this analyzer keeps casual edits from
+// silently clawing allocations back.
+//
+// Two escape hatches keep the rule honest about how the hot path is
+// actually written:
+//
+//   - Cold branches are exempt automatically: any block that terminates
+//     by returning a non-nil error or panicking is a violation path, and
+//     the zero-alloc guarantee only covers the non-violating path.
+//   - `//potlint:coldpath <why>` suppresses one line for cases the
+//     terminator heuristic cannot see.
+//
+// Appends are allowed only into struct-held scratch (s.buf, a
+// parameter, or a local derived from one by slicing/indexing), which is
+// how the reworked hot path amortizes capacity.
+var AllocFree = &Analyzer{
+	Name:     "allocfree",
+	Doc:      "flags steady-path allocations in //potlint:allocfree functions",
+	Suppress: "coldpath",
+	Run:      runAllocFree,
+}
+
+func runAllocFree(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || !docHasDirective(fd.Doc, "allocfree") {
+				continue
+			}
+			if fd.Body == nil {
+				pass.Reportf(fd.Pos(), "//potlint:allocfree on a bodyless declaration has no effect")
+				continue
+			}
+			checkAllocFree(pass, fd)
+		}
+	}
+	return nil
+}
+
+func docHasDirective(doc *ast.CommentGroup, name string) bool {
+	for _, c := range doc.List {
+		if m := directiveRE.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+			return true
+		}
+	}
+	return false
+}
+
+func checkAllocFree(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	fname := fd.Name.Name
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s is //potlint:allocfree but %s on the steady path; restructure or mark the line //potlint:coldpath <why>", fname, what)
+	}
+
+	scratch := scratchVars(info, fd)
+	isScratch := func(e ast.Expr) bool { return scratchBase(info, scratch, e) }
+	localFns := localClosures(info, fd)
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		parent := ast.Node(nil)
+		if len(stack) >= 2 {
+			parent = stack[len(stack)-2]
+		}
+		if coldAt(info, stack) {
+			return true // violation path: allocation is acceptable
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "starts a goroutine")
+		case *ast.DeferStmt:
+			report(n.Pos(), "defers a call (heap-allocated in loops)")
+		case *ast.CompositeLit:
+			switch typeOf(info, n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "builds a slice literal")
+			case *types.Map:
+				report(n.Pos(), "builds a map literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "takes the address of a composite literal (escapes to the heap)")
+				}
+			}
+		case *ast.FuncLit:
+			// A closure allocates only when it escapes. Immediate calls
+			// and locals that are only ever invoked (checked below via
+			// localFns) stay on the stack.
+			if isCallFun(parent, n) || localFns[funcLitBinding(info, parent, n)] != nil {
+				break
+			}
+			if capt := capturedVar(info, fd, n); capt != "" {
+				report(n.Pos(), "creates an escaping closure capturing "+capt)
+			}
+		case *ast.Ident:
+			if lit := localFns[info.Uses[n]]; lit != nil && !isCallFun(parent, n) {
+				if capt := capturedVar(info, fd, lit); capt != "" {
+					report(n.Pos(), "lets closure "+n.Name+" (capturing "+capt+") escape")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(typeOf(info, n.X)) {
+				report(n.Pos(), "concatenates strings")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(typeOf(info, n.Lhs[0])) {
+				report(n.Pos(), "concatenates strings")
+			}
+		case *ast.CallExpr:
+			checkAllocCall(pass, report, isScratch, n)
+		}
+		return true
+	})
+}
+
+// checkAllocCall applies the call-shaped allocation rules.
+func checkAllocCall(pass *Pass, report func(token.Pos, string), isScratch func(ast.Expr) bool, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Type conversion: string <-> []byte/[]rune copies.
+		dst := tv.Type.Underlying()
+		if len(call.Args) == 1 {
+			src := typeOf(info, call.Args[0]).Underlying()
+			if isString(dst) && isByteOrRuneSlice(src) {
+				report(call.Pos(), "converts a slice to string (copies)")
+			} else if isByteOrRuneSlice(dst) && isString(src) {
+				report(call.Pos(), "converts a string to a slice (copies)")
+			}
+		}
+		return
+	}
+	if name, ok := builtinName(info, call); ok {
+		switch name {
+		case "make":
+			report(call.Pos(), "calls make")
+		case "new":
+			report(call.Pos(), "calls new")
+		case "append":
+			if len(call.Args) > 0 && !isScratch(call.Args[0]) {
+				report(call.Pos(), "appends to a slice that is not struct-held scratch or parameter-derived")
+			}
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && packageOf(info, sel) == "fmt" {
+		report(call.Pos(), "calls fmt."+sel.Sel.Name+" (formats into fresh allocations)")
+		return
+	}
+	sig, ok := typeOf(info, call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Passing arguments through ...T materializes the argument slice
+	// (and ...any boxes every element). Spreading an existing slice
+	// with f(xs...) does not allocate.
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		report(call.Pos(), "passes arguments through a variadic parameter (allocates the argument slice)")
+		return
+	}
+	// Implicit interface conversions box non-pointer values.
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		pt := sig.Params().At(i).Type()
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := typeOf(info, arg)
+		switch at.Underlying().(type) {
+		case *types.Interface, *types.Pointer, *types.Signature, *types.Map, *types.Chan, *types.Slice:
+			continue // already a reference; conversion is pointer-sized
+		}
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+			continue // constants convert to static interface data
+		}
+		report(arg.Pos(), "converts a non-pointer value to interface "+pt.String()+" (boxes on the heap)")
+	}
+}
+
+// scratchVars walks the function body in order, collecting local
+// variables derived from struct fields or parameters by slicing or
+// indexing — the reusable-buffer idiom the hot path relies on.
+func scratchVars(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	add := func(id *ast.Ident) {
+		if obj := info.Defs[id]; obj != nil {
+			set[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			set[obj] = true
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, nm := range f.Names {
+				add(nm)
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, nm := range f.Names {
+				add(nm)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if scratchBase(info, set, asg.Rhs[i]) {
+				add(id)
+			}
+		}
+		return true
+	})
+	return set
+}
+
+// scratchBase reports whether e bottoms out in struct-held state, a
+// parameter, or a variable already classified as scratch.
+func scratchBase(info *types.Info, set map[types.Object]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return true // struct-held (s.buf) or package state
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && set[obj]
+	case *ast.SliceExpr:
+		return scratchBase(info, set, e.X)
+	case *ast.IndexExpr:
+		return scratchBase(info, set, e.X)
+	case *ast.ParenExpr:
+		return scratchBase(info, set, e.X)
+	case *ast.CallExpr:
+		// append into scratch stays scratch: q = append(q[:0], ...)
+		if name, ok := builtinName(info, e); ok && name == "append" && len(e.Args) > 0 {
+			return scratchBase(info, set, e.Args[0])
+		}
+	}
+	return false
+}
+
+// isCallFun reports whether child is the callee of parent (f(...) with
+// Fun == child), as opposed to an argument.
+func isCallFun(parent ast.Node, child ast.Expr) bool {
+	call, ok := parent.(*ast.CallExpr)
+	return ok && call.Fun == child
+}
+
+// funcLitBinding returns the object bound when parent is `name := lit`
+// (single-assignment), else nil.
+func funcLitBinding(info *types.Info, parent ast.Node, lit *ast.FuncLit) types.Object {
+	asg, ok := parent.(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Rhs[0] != lit {
+		return nil
+	}
+	id, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// localClosures maps local variables bound once to a func literal
+// (`cell := func(...) {...}`) to that literal. Such closures stay on
+// the stack as long as every use is a direct call; escaping uses are
+// flagged at the use site.
+func localClosures(info *types.Info, fd *ast.FuncDecl) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	rebound := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		id, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if lit, ok := asg.Rhs[0].(*ast.FuncLit); ok && !rebound[obj] {
+			if _, dup := out[obj]; dup {
+				rebound[obj] = true
+				delete(out, obj)
+			} else {
+				out[obj] = lit
+			}
+		} else if _, tracked := out[obj]; tracked {
+			rebound[obj] = true
+			delete(out, obj) // rebound to something else: stop tracking
+		}
+		return true
+	})
+	return out
+}
+
+// capturedVar returns the name of a variable the func literal captures
+// from the enclosing function, or "" when it captures nothing (a
+// static closure needs no allocation).
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal itself.
+		if v.Pos() >= fd.Pos() && v.Pos() <= fd.End() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			name = id.Name
+		}
+		return name == ""
+	})
+	return name
+}
+
+// coldAt reports whether the innermost enclosing block terminates on a
+// violation path: returning a non-nil error or panicking. Cold blocks
+// may allocate — the zero-alloc guarantee covers the healthy path only.
+func coldAt(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.FuncLit:
+			return false // closure body runs on its own schedule
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		if len(list) > 0 && isColdTerminator(info, list[len(list)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// isColdTerminator recognizes `return <non-nil error>` and `panic(...)`.
+func isColdTerminator(info *types.Info, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		if len(s.Results) == 0 {
+			return false
+		}
+		last := s.Results[len(s.Results)-1]
+		if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+			return false
+		}
+		return isErrorType(typeOf(info, last))
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, isB := builtinName(info, call); isB && name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	if t == nil || strings.Contains(t.String(), "invalid") {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"potsim/internal/lint"
+	"potsim/internal/lint/linttest"
+)
+
+func TestAllocFree(t *testing.T) {
+	linttest.Run(t, lint.AllocFree, "testdata/allocfree/allocfree", "potsim/internal/core")
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != on floating-point operands, plus float-typed
+// switch tags (equality in disguise). Exact float comparison is brittle
+// under rounding and silently wrong under NaN; guard code deliberately
+// uses the `!(x <= cap)` style so NaN trips the guard, and ordinary
+// comparisons (<, <=, >, >=) are untouched. The NaN self-test idiom
+// `x != x` is allowed. Deliberate exact comparisons (e.g. against a
+// sentinel the code itself stored) carry //potlint:floateq <why>.
+var FloatEq = &Analyzer{
+	Name:     "floateq",
+	Doc:      "flags ==/!= on floats and float switch tags",
+	Suppress: "floateq",
+	Run:      runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(typeOf(info, n.X)) && !isFloat(typeOf(info, n.Y)) {
+					return true
+				}
+				if bothConstant(info, n.X, n.Y) {
+					return true // compile-time constant comparison is exact
+				}
+				if sameExpr(n.X, n.Y) {
+					return true // x != x is the NaN self-test idiom
+				}
+				pass.Reportf(n.Pos(), "floating-point %s is brittle under rounding and NaN; compare with a tolerance, use math.IsNaN, or justify with //potlint:floateq <why>", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(typeOf(info, n.Tag)) {
+					pass.Reportf(n.Tag.Pos(), "switch on a floating-point value compares with ==; restructure as ordered comparisons or justify with //potlint:floateq <why>")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// bothConstant reports whether both operands are compile-time constants
+// (a tautological comparison the compiler already folds).
+func bothConstant(info *types.Info, x, y ast.Expr) bool {
+	tx, okx := info.Types[x]
+	ty, oky := info.Types[y]
+	return okx && oky && tx.Value != nil && ty.Value != nil
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// simple chains (ident or selector chains), e.g. `x != x`, `a.b != a.b`.
+func sameExpr(x, y ast.Expr) bool {
+	switch x := x.(type) {
+	case *ast.Ident:
+		y, ok := y.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := y.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameExpr(x.X, y.X)
+	case *ast.ParenExpr:
+		y, ok := y.(*ast.ParenExpr)
+		return ok && sameExpr(x.X, y.X)
+	}
+	return false
+}

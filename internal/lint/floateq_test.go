@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"potsim/internal/lint"
+	"potsim/internal/lint/linttest"
+)
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, lint.FloatEq, "testdata/floateq/floateq", "potsim/internal/power")
+}

@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"potsim/internal/lint"
+)
+
+func TestSelect(t *testing.T) {
+	all, err := lint.Select("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(lint.All()) {
+		t.Fatalf("Select(\"\") returned %d analyzers, want %d", len(all), len(lint.All()))
+	}
+
+	two, err := lint.Select("maporder, wallclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "maporder" || two[1].Name != "wallclock" {
+		t.Fatalf("Select(maporder, wallclock) = %v", two)
+	}
+
+	if _, err := lint.Select("nosuch"); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("Select(nosuch) error = %v, want unknown-analyzer error", err)
+	}
+	if _, err := lint.Select(" , "); err == nil {
+		t.Fatal("Select of only separators should fail, not silently run nothing")
+	}
+}
+
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing metadata", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,196 @@
+// Package linttest runs lint analyzers over testdata packages and
+// checks their diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest but built purely
+// on the standard library.
+//
+// A testdata package is one directory of .go files forming a single
+// package. It may import only the standard library (resolved with the
+// source importer, so no build cache or network is needed). The import
+// path under which the package is analyzed is chosen by the caller —
+// that is what drives potlint's package gating, so one fixture tree can
+// pose as internal/core while another poses as an exempt package.
+//
+// Expectations: a comment `// want "re"` (one or more quoted regexps)
+// on a line means each regexp must match the message of a diagnostic
+// reported on that line; diagnostics on lines without a matching want,
+// and wants without a matching diagnostic, fail the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"potsim/internal/lint"
+)
+
+// one source importer per process: stdlib packages are type-checked
+// from GOROOT source once and reused by every fixture.
+var (
+	srcImpOnce sync.Once
+	srcImpFset *token.FileSet
+	srcImp     types.Importer
+)
+
+func sourceImporter() (*token.FileSet, types.Importer) {
+	srcImpOnce.Do(func() {
+		srcImpFset = token.NewFileSet()
+		srcImp = importer.ForCompiler(srcImpFset, "source", nil)
+	})
+	return srcImpFset, srcImp
+}
+
+// Load parses and type-checks the single package in dir, assigning it
+// the given import path.
+func Load(t *testing.T, dir, importPath string) *lint.Package {
+	t.Helper()
+	fset, imp := sourceImporter()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no .go files in %s", dir)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-checking %s: %v", dir, err)
+	}
+	return &lint.Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// Run analyzes the testdata package in dir under importPath and checks
+// the diagnostics against the package's want comments. It returns the
+// diagnostics for any extra assertions.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) []lint.Diagnostic {
+	t.Helper()
+	pkg := Load(t, dir, importPath)
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	checkWants(t, pkg, diags)
+	return diags
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// checkWants matches diagnostics against // want comments.
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(t, posn, m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp: %v", posn, err)
+					}
+					wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted parses the sequence of quoted regexps after `// want`.
+func splitQuoted(t *testing.T, posn token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: malformed want rest %q", posn, s)
+		}
+		q, rest, err := cutQuoted(s)
+		if err != nil {
+			t.Fatalf("%s: %v", posn, err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(rest)
+	}
+	return out
+}
+
+// cutQuoted unquotes the leading Go string literal and returns the rest.
+func cutQuoted(s string) (string, string, error) {
+	if s[0] == '`' {
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string in want: %q", s)
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			q, err := strconv.Unquote(s[:i+1])
+			return q, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in want: %q", s)
+}

@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body has side effects that
+// can observe Go's randomized iteration order, inside the
+// determinism-critical packages. This is exactly the bug class that
+// shipped in PR 2: successor packets were injected into the NoC in
+// CommFlits map-iteration order, so identical seeds drifted router
+// arbitration.
+//
+// Order-independent bodies are allowed: keyed writes into another map,
+// integer tallies, and the collect-keys-then-sort idiom (append only
+// key/value-derived data to a slice that is later passed to sort.* or
+// slices.Sort*). Everything else — appends, channel sends, calls,
+// floating-point accumulation, returns of key-derived values — needs
+// the keys sorted first or a `//potlint:ordered <why>` justification.
+var MapOrder = &Analyzer{
+	Name:     "maporder",
+	Doc:      "flags side-effecting iteration over maps in determinism-critical packages",
+	Suppress: "ordered",
+	Run:      runMapOrder,
+}
+
+// mapOrderPackages is the determinism-critical set: packages whose
+// outputs feed the byte-identical experiment tables.
+var mapOrderPackages = map[string]bool{
+	"core": true, "noc": true, "sim": true, "scheduler": true,
+	"mapping": true, "expt": true, "workload": true, "sbst": true,
+	"checkpoint": true,
+}
+
+// Builtins with no observable ordering effect inside a map range.
+var pureBuiltins = map[string]bool{
+	"len": true, "cap": true, "delete": true, "min": true, "max": true,
+	"real": true, "imag": true, "complex": true, "abs": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !mapOrderPackages[pathTail(pass.Pkg.Path)] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Track the full ancestor stack (ast.Inspect sends one nil per
+		// finished subtree) so the collect-then-sort idiom can locate
+		// the enclosing function and look for the sort call after the
+		// loop. The walker always returns true to keep pushes and pops
+		// balanced; subtree checks run their own Inspect.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			var encl ast.Node
+			for i := len(stack) - 2; i >= 0 && encl == nil; i-- {
+				switch stack[i].(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					encl = stack[i]
+				}
+			}
+			checkMapRange(pass, rng, encl)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange reports the first order-observing side effect in the
+// body of a map range, applying the allowed-idiom carve-outs.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, encl ast.Node) {
+	info := pass.Pkg.Info
+	iterVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				iterVars[obj] = true // `k = range m` assigning an outer var
+			}
+		}
+	}
+	outer := func(id *ast.Ident) types.Object {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok && (v.Pos() < rng.Pos() || v.Pos() > rng.End()) {
+			return v
+		}
+		return nil
+	}
+	derivesFromIter := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && iterVars[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Diagnostics anchor to the range statement itself — that is where
+	// a //potlint:ordered suppression or a sorted-keys rewrite lands.
+	report := func(_ token.Pos, what string) {
+		pass.Reportf(rng.Pos(), "map iteration order is randomized: %s; range over sorted keys or justify with //potlint:ordered <why>", what)
+	}
+
+	done := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if done || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n.Pos(), "body sends on a channel")
+			done = true
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				return true // type conversion, not a call
+			}
+			name, isBuiltin := builtinName(info, n)
+			if isBuiltin {
+				if name == "append" {
+					// handled at the enclosing AssignStmt
+					return true
+				}
+				if pureBuiltins[name] {
+					return true
+				}
+				report(n.Pos(), "body calls "+name+", whose effect depends on iteration order")
+				done = true
+				return false
+			}
+			report(n.Pos(), "body calls "+callName(n)+", which can observe iteration order (RNG draws, event/packet injection, error returns)")
+			done = true
+			return false
+		case *ast.AssignStmt:
+			if app, target := appendAssign(info, n); app != nil {
+				if tgt, ok := target.(*ast.Ident); ok {
+					if obj := outer(tgt); obj != nil {
+						if appendIsSortedCollect(pass, rng, encl, obj, app) {
+							return false // skip the call inside
+						}
+						report(n.Pos(), "body appends to "+tgt.Name+" without sorting it afterwards")
+						done = true
+					}
+					return true // local append; still visit args for calls
+				}
+				report(n.Pos(), "body appends to a non-local slice")
+				done = true
+				return false
+			}
+			for _, lhs := range n.Lhs {
+				switch lhs := lhs.(type) {
+				case *ast.Ident:
+					obj := outer(lhs)
+					if obj == nil {
+						continue
+					}
+					if isFloat(obj.Type()) {
+						report(n.Pos(), "body accumulates into float "+lhs.Name+"; float reduction depends on iteration order")
+						done = true
+					} else if n.Tok == token.ASSIGN && derivesFromIter(n.Rhs[0]) {
+						report(n.Pos(), "body assigns an iteration-dependent value to "+lhs.Name+" (last writer wins in random order)")
+						done = true
+					}
+				case *ast.IndexExpr:
+					// Keyed writes (m2[k] = v) are order-independent;
+					// positional writes (out[i] = v, i outer) are not.
+					if derivesFromIter(lhs.Index) {
+						continue
+					}
+					if base, ok := lhs.X.(*ast.Ident); ok && outer(base) != nil {
+						if _, isMap := typeOf(info, lhs.X).Underlying().(*types.Map); isMap {
+							continue // constant-keyed map write, still keyed
+						}
+						report(n.Pos(), "body writes to "+base.Name+" at an index that does not derive from the map key")
+						done = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				if obj := outer(id); obj != nil && isFloat(obj.Type()) {
+					report(n.Pos(), "body accumulates into float "+id.Name+"; float reduction depends on iteration order")
+					done = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if derivesFromIter(r) {
+					report(n.Pos(), "body returns a value derived from an arbitrary map element")
+					done = true
+					break
+				}
+			}
+		}
+		return !done
+	})
+}
+
+// appendAssign returns the append call and its destination expression
+// when stmt has the shape `dst = append(dst, ...)` (or with := / ||=).
+func appendAssign(info *types.Info, stmt *ast.AssignStmt) (*ast.CallExpr, ast.Expr) {
+	if len(stmt.Rhs) != 1 || len(stmt.Lhs) != 1 {
+		return nil, nil
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	if name, isBuiltin := builtinName(info, call); !isBuiltin || name != "append" {
+		return nil, nil
+	}
+	return call, stmt.Lhs[0]
+}
+
+// appendIsSortedCollect reports whether an append inside a map range is
+// the collect-keys-then-sort idiom: the appended values derive only
+// from the iteration variables (or constants), and the destination
+// slice is passed to a sort function after the loop in the enclosing
+// function.
+func appendIsSortedCollect(pass *Pass, rng *ast.RangeStmt, encl ast.Node, dst types.Object, app *ast.CallExpr) bool {
+	info := pass.Pkg.Info
+	if encl == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if sorted || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == dst {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isSortCall recognizes sort.* and slices.Sort* calls.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg := packageOf(info, sel)
+	return pkg == "sort" || (pkg == "slices" && len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort")
+}
+
+// ---- shared small helpers ----
+
+// builtinName returns the builtin's name when the call invokes one.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// callName renders a readable callee name for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	default:
+		return "a function value"
+	}
+}
+
+// packageOf returns the imported package name when sel.X is a package
+// qualifier ("sort" for sort.Strings), else "".
+func packageOf(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"potsim/internal/lint"
+	"potsim/internal/lint/linttest"
+)
+
+func TestMapOrderCritical(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/maporder/critical", "potsim/internal/core")
+}
+
+func TestMapOrderUncriticalPackageIsExempt(t *testing.T) {
+	diags := linttest.Run(t, lint.MapOrder, "testdata/maporder/uncritical", "potsim/internal/power")
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics outside the critical set, got %v", diags)
+	}
+}
+
+// A //potlint:ordered directive with no justification must not
+// suppress: both the original finding and a directive complaint are
+// reported. The complaint lands on the directive's own line, which a
+// // want comment cannot share, so this case is asserted by hand.
+func TestMapOrderBareDirectiveDoesNotSuppress(t *testing.T) {
+	pkg := linttest.Load(t, "testdata/maporder/nojustify", "potsim/internal/noc")
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.MapOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("expected 2 diagnostics (complaint + finding), got %d: %v", len(diags), diags)
+	}
+	complaint, finding := diags[0], diags[1]
+	if !strings.Contains(complaint.Message, "requires a one-line justification") {
+		t.Errorf("first diagnostic should demand a justification, got %q", complaint.Message)
+	}
+	if !strings.Contains(finding.Message, "sends on a channel") {
+		t.Errorf("second diagnostic should be the suppressed-in-vain finding, got %q", finding.Message)
+	}
+	if complaint.Pos.Line+1 != finding.Pos.Line {
+		t.Errorf("complaint should sit on the directive line directly above the range (lines %d and %d)",
+			complaint.Pos.Line, finding.Pos.Line)
+	}
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapErr flags discarded errors from the durability APIs: Snapshot /
+// Restore methods, checkpoint.Save / Load / WriteFileAtomic, and the
+// batch journal (Record, Close). A dropped error here silently converts
+// a crash-safe run into one that resumes from a torn or stale state, so
+// every call site must consume the error — even in defers.
+var SnapErr = &Analyzer{
+	Name:     "snaperr",
+	Doc:      "flags discarded errors from snapshot/restore/journal/atomic-write APIs",
+	Suppress: "snaperr",
+	Run:      runSnapErr,
+}
+
+// durableAnywhere are API names flagged regardless of package: the
+// method set is unambiguous across the tree.
+var durableAnywhere = map[string]bool{
+	"Snapshot": true, "Restore": true, "WriteFileAtomic": true,
+}
+
+// durableQualified are flagged only when the callee is declared in a
+// package whose path contains the key fragment, because the bare names
+// are too generic to match globally.
+var durableQualified = map[string][]string{
+	"checkpoint": {"Save", "Load"},
+	"batch":      {"Record", "Close"},
+}
+
+func runSnapErr(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					flagIfDurable(pass, call, "discarded")
+				}
+			case *ast.DeferStmt:
+				flagIfDurable(pass, n.Call, "discarded by defer")
+			case *ast.GoStmt:
+				flagIfDurable(pass, n.Call, "discarded by go")
+			case *ast.AssignStmt:
+				// err-position blank: `_ = j.Close()`, `st, _ := Snapshot()`.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, errPos, isDurable := durableCall(info, call)
+				if !isDurable || errPos < 0 || errPos >= len(n.Lhs) {
+					return true
+				}
+				if id, ok := n.Lhs[errPos].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "error from %s is assigned to _; durability failures must be handled, not dropped", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// flagIfDurable reports a durable-API call whose results (including the
+// error) are discarded wholesale.
+func flagIfDurable(pass *Pass, call *ast.CallExpr, how string) {
+	if name, errPos, ok := durableCall(pass.Pkg.Info, call); ok && errPos >= 0 {
+		pass.Reportf(call.Pos(), "error from %s is %s; durability failures must be handled, not dropped", name, how)
+	}
+}
+
+// durableCall classifies a call against the durable API set. It returns
+// a display name, the index of the error result (-1 when the call does
+// not return one), and whether the callee is in the set.
+func durableCall(info *types.Info, call *ast.CallExpr) (string, int, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", -1, false
+	}
+	name := fn.Name()
+	match := durableAnywhere[name]
+	if !match {
+		if pkg := fn.Pkg(); pkg != nil {
+			for frag, names := range durableQualified {
+				if !strings.Contains(pkg.Path(), frag) {
+					continue
+				}
+				for _, n := range names {
+					if n == name {
+						match = true
+					}
+				}
+			}
+		}
+	}
+	if !match {
+		return "", -1, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return name, -1, true
+	}
+	errPos := -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errPos = i
+		}
+	}
+	display := name
+	if recv := sig.Recv(); recv != nil {
+		display = recvTypeName(recv.Type()) + "." + name
+	} else if pkg := fn.Pkg(); pkg != nil {
+		display = pathTail(pkg.Path()) + "." + name
+	}
+	return display, errPos, true
+}
+
+// calleeFunc resolves the called *types.Func for idents and selectors.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

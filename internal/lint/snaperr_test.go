@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"potsim/internal/lint"
+	"potsim/internal/lint/linttest"
+)
+
+func TestSnapErrCheckpointPackage(t *testing.T) {
+	linttest.Run(t, lint.SnapErr, "testdata/snaperr/checkpointpkg", "potsim/internal/checkpoint")
+}
+
+func TestSnapErrBatchJournal(t *testing.T) {
+	linttest.Run(t, lint.SnapErr, "testdata/snaperr/batchpkg", "potsim/internal/batch")
+}

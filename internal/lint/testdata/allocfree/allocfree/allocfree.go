@@ -1,0 +1,106 @@
+// Package allocfree exercises the steady-path allocation analyzer on
+// //potlint:allocfree-annotated functions: allocation-shaped constructs
+// are flagged unless they sit on a cold (error/panic) path, use
+// struct-held scratch, or carry a //potlint:coldpath justification.
+package allocfree
+
+import (
+	"errors"
+	"fmt"
+)
+
+type engine struct {
+	buf   []int
+	queue []int
+	sum   int
+}
+
+var sink func()
+
+func consume(n int)           {}
+func variadic(xs ...int) int  { return len(xs) }
+func boxes(v interface{}) int { return 0 }
+
+// hotAllocs gathers the flagged construct shapes.
+//
+//potlint:allocfree
+func hotAllocs(e *engine, n int, name string) {
+	tmp := make([]int, n)     // want `calls make`
+	lit := []int{1, 2, 3}     // want `builds a slice literal`
+	m := map[int]int{}        // want `builds a map literal`
+	p := &engine{}            // want `takes the address of a composite literal`
+	s := name + "!"           // want `concatenates strings`
+	f := fmt.Sprintf("%d", n) // want `calls fmt.Sprintf`
+	b := []byte(name)         // want `converts a string to a slice`
+	var local []int
+	local = append(local, n) // want `appends to a slice that is not struct-held scratch`
+	go consume(n)            // want `starts a goroutine`
+	defer consume(n)         // want `defers a call`
+	_ = variadic(1, 2, 3)    // want `passes arguments through a variadic parameter`
+	_ = boxes(n)             // want `converts a non-pointer value to interface`
+	consume(len(tmp) + len(lit) + len(m) + len(s) + len(f) + len(b) + len(local) + p.sum)
+}
+
+// hotClosures: closures allocate only when they escape.
+//
+//potlint:allocfree
+func hotClosures(e *engine, n int) {
+	// Immediate call: stays on the stack.
+	func() { e.sum += n }()
+	// Local binding only ever invoked: stays on the stack.
+	step := func() { e.sum += n }
+	step()
+	// Passing a capturing literal to another function escapes it.
+	sink = func() { consume(n) } // want `creates an escaping closure capturing n`
+	// Letting a tracked local binding escape is flagged at the use site.
+	leak := func() { consume(n) }
+	sink = leak // want `lets closure leak \(capturing n\) escape`
+}
+
+// hotScratch shows the allowed reusable-buffer idiom.
+//
+//potlint:allocfree
+func hotScratch(e *engine, spill []int, n int) {
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, n)
+	e.queue = append(e.queue[:0], e.buf...)
+	spill = append(spill, n)
+	q := e.queue[:0]
+	q = append(q, spill...)
+	e.sum += len(q)
+}
+
+// hotColdPath: blocks that end by returning a non-nil error or
+// panicking are violation paths where allocation is acceptable.
+//
+//potlint:allocfree
+func hotColdPath(e *engine, n int) error {
+	if n < 0 {
+		detail := fmt.Sprintf("n=%d", n)
+		return errors.New("negative epoch: " + detail)
+	}
+	if n > 1<<20 {
+		panic(fmt.Sprintf("absurd epoch %d", n))
+	}
+	e.sum += n
+	return nil
+}
+
+// hotSuppressed: the terminator heuristic cannot see this one-time
+// lazy growth, so the line carries a coldpath justification.
+//
+//potlint:allocfree
+func hotSuppressed(e *engine, n int) {
+	if cap(e.buf) < n {
+		//potlint:coldpath one-time capacity growth; steady state reuses the buffer
+		e.buf = make([]int, 0, n)
+	}
+	e.buf = append(e.buf[:0], n)
+}
+
+// notAnnotated is identical in shape to hotAllocs but carries no
+// directive, so nothing in it is flagged.
+func notAnnotated(n int) []int {
+	tmp := make([]int, n)
+	return append(tmp, n)
+}

@@ -1,0 +1,80 @@
+// Package floateq exercises the float-equality analyzer: ==/!= on
+// floats and float switch tags are flagged; ordered comparisons, the
+// NaN self-test idiom, and constant folding are not.
+package floateq
+
+import "math"
+
+type sensor struct {
+	reading float64
+	limit   float64
+}
+
+func exactEq(a, b float64) bool {
+	return a == b // want `floating-point == is brittle`
+}
+
+func exactNeq(a, b float64) bool {
+	return a != b // want `floating-point != is brittle`
+}
+
+func againstLiteral(a float64) bool {
+	return a == 0.25 // want `floating-point == is brittle`
+}
+
+func fieldEq(s *sensor, cap float64) bool {
+	return s.reading == cap // want `floating-point == is brittle`
+}
+
+func switchOnFloat(v float64) int {
+	switch v { // want `switch on a floating-point value compares with ==`
+	case 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// ---- allowed shapes ----
+
+// guard uses the deliberate !(x <= cap) style so NaN trips the guard.
+func guard(x, cap float64) bool {
+	return !(x <= cap)
+}
+
+func ordered(a, b float64) bool {
+	return a < b || a > b
+}
+
+// selfTest is the NaN self-test idiom.
+func selfTest(x float64) bool {
+	return x != x
+}
+
+func fieldSelfTest(s *sensor) bool {
+	return s.reading != s.reading
+}
+
+func viaMath(x float64) bool {
+	return math.IsNaN(x)
+}
+
+func intEq(a, b int) bool {
+	return a == b
+}
+
+func switchOnInt(v int) int {
+	switch v {
+	case 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// suppressed compares against a sentinel this code itself stored, so
+// the comparison is exact by construction.
+func suppressed(s *sensor) bool {
+	//potlint:floateq limit is copied bit-for-bit from reading at arm time; equality is exact
+	return s.reading == s.limit
+}

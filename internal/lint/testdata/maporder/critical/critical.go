@@ -1,0 +1,139 @@
+// Package critical is analyzed under the import path
+// potsim/internal/core, so maporder's determinism gating applies.
+package critical
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+type task struct {
+	CommFlits map[int]int
+}
+
+type engine struct{ injected []int }
+
+func (e *engine) inject(dst, flits int) { e.injected = append(e.injected, dst) }
+
+// fireFirstIteration mirrors the PR-2 flit-injection bug: successor
+// packets entered the NoC in map-iteration order, drifting router
+// arbitration between identical-seed runs.
+func fireFirstIteration(e *engine, t *task) {
+	for dst, flits := range t.CommFlits { // want `iteration order`
+		e.inject(dst, flits)
+	}
+}
+
+// fireSorted is the fixed shape: keys collected, sorted, then ranged.
+func fireSorted(e *engine, t *task) {
+	ids := make([]int, 0, len(t.CommFlits))
+	for id := range t.CommFlits {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e.inject(id, t.CommFlits[id])
+	}
+}
+
+func sendsOnChannel(m map[string]int, ch chan int) {
+	for _, v := range m { // want `sends on a channel`
+		ch <- v
+	}
+}
+
+func appendsUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys without sorting`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func floatAccumulation(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `float reduction depends on iteration order`
+		sum += v
+	}
+	return sum
+}
+
+func lastWriterWins(m map[int]string) string {
+	var picked string
+	for _, v := range m { // want `last writer wins`
+		picked = v
+	}
+	return picked
+}
+
+func returnsArbitrary(m map[int]int) int {
+	for k := range m { // want `arbitrary map element`
+		return k
+	}
+	return -1
+}
+
+func positionalWrite(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m { // want `index that does not derive from the map key`
+		out[i] = v
+		i++
+	}
+}
+
+func logsEach(m map[int]int) {
+	for dst := range m { // want `can observe iteration order`
+		fmt.Println(dst)
+	}
+}
+
+func returnsFirstError(m map[int]int, n int) error {
+	for dst := range m { // want `arbitrary map element`
+		if dst >= n {
+			return fmt.Errorf("bad destination %d", dst)
+		}
+	}
+	return nil
+}
+
+// ---- order-independent bodies must stay clean ----
+
+func keyedCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intTally(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func deleteAll(m, doomed map[string]int) {
+	for k := range doomed {
+		delete(m, k)
+	}
+}
+
+func sortedViaSlicesPkg(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// suppressed carries the justification the acceptance criteria demand.
+func suppressed(m map[int]int, ch chan int) {
+	//potlint:ordered fan-out order does not matter: the consumer re-sorts by sequence number
+	for _, v := range m {
+		ch <- v
+	}
+}

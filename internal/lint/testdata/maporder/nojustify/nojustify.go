@@ -1,0 +1,13 @@
+// Package nojustify exercises the bare-directive rule: a
+// //potlint:ordered with no justification must not suppress, and is
+// itself reported. The expectations live in the test file (the
+// justification diagnostic lands on the directive's own line, where a
+// want comment cannot sit).
+package nojustify
+
+func bareDirective(m map[int]int, ch chan int) {
+	//potlint:ordered
+	for _, v := range m {
+		ch <- v
+	}
+}

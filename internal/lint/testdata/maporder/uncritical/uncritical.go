@@ -1,0 +1,26 @@
+// Package uncritical is analyzed under an import path outside the
+// determinism-critical set, so even blatantly order-dependent bodies
+// must produce no diagnostics.
+package uncritical
+
+import "fmt"
+
+func fanOut(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func sumFloats(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

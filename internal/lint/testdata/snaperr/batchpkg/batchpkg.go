@@ -1,0 +1,21 @@
+// Package batchpkg is analyzed under potsim/internal/batch, so its
+// journal methods Record and Close join the durable API set.
+package batchpkg
+
+type Journal struct{ n int }
+
+func (j *Journal) Record(line string) error { j.n++; return nil }
+func (j *Journal) Close() error             { return nil }
+
+func discards(j *Journal, line string) {
+	j.Record(line)  // want `error from Journal.Record is discarded`
+	defer j.Close() // want `error from Journal.Close is discarded by defer`
+	_ = j.Close()   // want `error from Journal.Close is assigned to _`
+}
+
+func handled(j *Journal, line string) error {
+	if err := j.Record(line); err != nil {
+		return err
+	}
+	return j.Close()
+}

@@ -1,0 +1,67 @@
+// Package checkpointpkg is analyzed under potsim/internal/checkpoint,
+// so its Save/Load join the durable API set alongside the
+// name-matched Snapshot/Restore/WriteFileAtomic.
+package checkpointpkg
+
+import "fmt"
+
+type Store struct{ state []byte }
+
+func (s *Store) Snapshot() ([]byte, error) { return s.state, nil }
+func (s *Store) Restore(b []byte) error    { s.state = b; return nil }
+
+func Save(path string, b []byte) error            { return nil }
+func Load(path string) ([]byte, error)            { return nil, nil }
+func WriteFileAtomic(path string, b []byte) error { return nil }
+
+// File.Close is NOT durable: "Close" is only matched for callees in a
+// batch package, and this package only contributes Save/Load.
+type File struct{}
+
+func (f *File) Close() error { return nil }
+
+func discards(s *Store, p string, b []byte) {
+	s.Snapshot()          // want `error from Store.Snapshot is discarded`
+	defer s.Restore(b)    // want `error from Store.Restore is discarded by defer`
+	go Save(p, b)         // want `error from checkpoint.Save is discarded by go`
+	WriteFileAtomic(p, b) // want `error from checkpoint.WriteFileAtomic is discarded`
+	_ = s.Restore(b)      // want `error from Store.Restore is assigned to _`
+	st, _ := s.Snapshot() // want `error from Store.Snapshot is assigned to _`
+	fmt.Println(len(st))
+}
+
+// ---- allowed shapes ----
+
+func handled(s *Store, p string, b []byte) error {
+	st, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := Save(p, st); err != nil {
+		return fmt.Errorf("saving: %w", err)
+	}
+	loaded, err := Load(p)
+	if err != nil {
+		return err
+	}
+	return s.Restore(loaded)
+}
+
+func handledDefer(s *Store, b []byte) (retErr error) {
+	defer func() {
+		if err := s.Restore(b); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	return nil
+}
+
+func notDurable(f *File) {
+	defer f.Close()
+	fmt.Println("fine")
+}
+
+func suppressed(s *Store, b []byte) {
+	//potlint:snaperr best-effort rollback on an already-failed path; the original error wins
+	_ = s.Restore(b)
+}

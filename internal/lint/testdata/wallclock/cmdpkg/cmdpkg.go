@@ -1,0 +1,14 @@
+// Package cmdpkg is analyzed under potsim/cmd/experiments: cmd/
+// front-ends sit outside internal/ and may freely use wall-clock time,
+// global rand, and the environment.
+package cmdpkg
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func banner() (time.Time, int, string) {
+	return time.Now(), rand.Int(), os.Getenv("HOME")
+}

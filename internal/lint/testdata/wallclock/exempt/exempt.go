@@ -1,0 +1,21 @@
+// Package exempt is analyzed under potsim/internal/batch, an exempt
+// infrastructure package: worker pools legitimately use host time for
+// timeouts and backoff, so nothing here may be flagged.
+package exempt
+
+import (
+	"os"
+	"time"
+)
+
+func workerTimeout() time.Time {
+	return time.Now().Add(5 * time.Second)
+}
+
+func backoff(attempt int) {
+	time.Sleep(time.Duration(attempt) * time.Millisecond)
+}
+
+func debugDir() string {
+	return os.Getenv("POTSIM_DEBUG_DIR")
+}

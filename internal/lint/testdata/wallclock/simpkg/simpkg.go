@@ -1,0 +1,71 @@
+// Package simpkg is analyzed under potsim/internal/core, a simulation
+// package where host time, global rand, and environment reads are
+// forbidden.
+package simpkg
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func readsClock() time.Time {
+	return time.Now() // want `time.Now reads the host clock`
+}
+
+func measures(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the host clock`
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the host clock`
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want `global math/rand \(Intn\) is unseeded shared state`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand \(Shuffle\)`
+}
+
+func readsEnv() string {
+	return os.Getenv("POTSIM_SEED") // want `os.Getenv makes a run depend on the host environment`
+}
+
+// ---- allowed shapes ----
+
+// seededDraw draws from an explicitly seeded source: deterministic.
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// durations and time arithmetic on values passed in are fine; only the
+// clock sources are banned.
+func halfBudget(budget time.Duration) time.Duration {
+	return budget / 2
+}
+
+func deadlineAfter(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// declared types from the rand package are fine.
+func drawAll(r *rand.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(100)
+	}
+	return out
+}
+
+// os APIs that do not read the environment are fine.
+func hostname() (string, error) {
+	return os.Hostname()
+}
+
+func suppressed() time.Time {
+	//potlint:wallclock log banner only; the value never reaches the simulation
+	return time.Now()
+}

@@ -1,0 +1,26 @@
+package lint_test
+
+import (
+	"testing"
+
+	"potsim/internal/lint"
+	"potsim/internal/lint/linttest"
+)
+
+func TestWallClockSimulationPackage(t *testing.T) {
+	linttest.Run(t, lint.WallClock, "testdata/wallclock/simpkg", "potsim/internal/core")
+}
+
+func TestWallClockExemptInfraPackage(t *testing.T) {
+	diags := linttest.Run(t, lint.WallClock, "testdata/wallclock/exempt", "potsim/internal/batch")
+	if len(diags) != 0 {
+		t.Fatalf("internal/batch is exempt, got %v", diags)
+	}
+}
+
+func TestWallClockCmdPackageIsExempt(t *testing.T) {
+	diags := linttest.Run(t, lint.WallClock, "testdata/wallclock/cmdpkg", "potsim/cmd/experiments")
+	if len(diags) != 0 {
+		t.Fatalf("cmd/ packages are exempt, got %v", diags)
+	}
+}

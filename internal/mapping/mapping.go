@@ -152,6 +152,8 @@ func (FirstFree) Map(g *workload.Graph, grid *Grid) (Assignment, bool) {
 // deterministic index order. The grid's scratch buffers back the search
 // state, so the returned slice is only valid until the next search that
 // reuses out's backing array.
+//
+//potlint:allocfree
 func growRegion(grid *Grid, seed, need int, out []int) ([]int, bool) {
 	out = out[:0]
 	if !grid.Cores[seed].Free {

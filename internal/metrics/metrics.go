@@ -167,6 +167,7 @@ func (t *Table) AddRow(cells ...any) {
 // FormatFloat renders floats compactly: integers without decimals,
 // everything else with four significant digits.
 func FormatFloat(v float64) string {
+	//potlint:floateq exact is-integer test; Trunc returns v bit-identical for integral v, and NaN falls through to %g
 	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
 		return fmt.Sprintf("%.0f", v)
 	}

@@ -303,6 +303,8 @@ func (n *Network) freeSlots(r *router, p Port) int {
 
 // Step advances the network one clock cycle: route computation, VC
 // allocation and switch traversal for every router, applied atomically.
+//
+//potlint:allocfree
 func (n *Network) Step() {
 	n.moves = n.moves[:0]
 	for _, vc := range n.touched {

@@ -154,34 +154,34 @@ func DefaultConfig(width, height int) Config {
 }
 
 // Validate checks the configuration.
-func (c Config) Validate() error {
-	if c.Width <= 0 || c.Height <= 0 {
-		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+func (cfg Config) Validate() error {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return fmt.Errorf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height)
 	}
-	if c.BufferDepth < 1 {
+	if cfg.BufferDepth < 1 {
 		return fmt.Errorf("noc: BufferDepth must be >= 1")
 	}
-	if c.VirtualChannels < 1 {
+	if cfg.VirtualChannels < 1 {
 		return fmt.Errorf("noc: VirtualChannels must be >= 1")
 	}
-	switch c.Routing {
+	switch cfg.Routing {
 	case RoutingXY, RoutingWestFirst:
 	default:
-		return fmt.Errorf("noc: unknown routing %d", c.Routing)
+		return fmt.Errorf("noc: unknown routing %d", cfg.Routing)
 	}
-	switch c.Topology {
+	switch cfg.Topology {
 	case TopologyMesh:
 	case TopologyTorus:
-		if c.VirtualChannels < 2 {
+		if cfg.VirtualChannels < 2 {
 			return fmt.Errorf("noc: torus needs >= 2 virtual channels (dateline classes)")
 		}
-		if c.Routing != RoutingXY {
+		if cfg.Routing != RoutingXY {
 			return fmt.Errorf("noc: torus supports XY routing only")
 		}
 	default:
-		return fmt.Errorf("noc: unknown topology %d", c.Topology)
+		return fmt.Errorf("noc: unknown topology %d", cfg.Topology)
 	}
-	if c.ClockHz <= 0 {
+	if cfg.ClockHz <= 0 {
 		return fmt.Errorf("noc: ClockHz must be positive")
 	}
 	return nil

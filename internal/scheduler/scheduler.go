@@ -131,6 +131,7 @@ type urgSorter struct{ c []planCand }
 func (s *urgSorter) Len() int      { return len(s.c) }
 func (s *urgSorter) Swap(i, j int) { s.c[i], s.c[j] = s.c[j], s.c[i] }
 func (s *urgSorter) Less(i, j int) bool {
+	//potlint:floateq sort tie-break: equal urgencies are computed identically, so exact inequality is the right test
 	if s.c[i].urg != s.c[j].urg {
 		return s.c[i].urg > s.c[j].urg
 	}
@@ -368,6 +369,7 @@ func NewNaiveIdle(cfg Config) (*POTS, error) {
 		RotateLevels:   false,
 		MinCriticality: cfg.Options.MinCriticality,
 	}
+	//potlint:floateq 0 is the exact unset sentinel of the zero-value Config
 	if cfg.Options.MinCriticality == 0 {
 		cfg.Options.MinCriticality = 0.5
 	}
@@ -429,6 +431,7 @@ func (s Stats) GiniTestShare() float64 {
 	for _, v := range vals {
 		total += float64(v)
 	}
+	//potlint:floateq exact zero: total is a sum of non-negative integer counts
 	if total == 0 {
 		return 0
 	}

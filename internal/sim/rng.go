@@ -141,6 +141,7 @@ func (s *Stream) Weibull(scale, shape float64) float64 {
 		return 0
 	}
 	u := s.Float64()
+	//potlint:floateq rejection sampling: Float64 can return exactly 0, which Log cannot take
 	for u == 0 {
 		u = s.Float64()
 	}

@@ -113,6 +113,8 @@ func (g *Grid) MeanTemperature() float64 {
 
 // Advance integrates the grid to time now given per-core power draws in
 // watts (len must equal Cores()), held constant over the interval.
+//
+//potlint:allocfree
 func (g *Grid) Advance(now sim.Time, powerW []float64) error {
 	if len(powerW) != len(g.tempK) {
 		return fmt.Errorf("thermal: power vector has %d entries, want %d", len(powerW), len(g.tempK))
@@ -154,6 +156,8 @@ func (g *Grid) Advance(now sim.Time, powerW []float64) error {
 // (the original branch order), and the update expression is kept verbatim
 // as t + dt*flow/C, so the floating-point result is bit-identical to the
 // pre-optimization kernel.
+//
+//potlint:allocfree
 func (g *Grid) step(dt float64, powerW []float64) float64 {
 	w, h := g.cfg.Width, g.cfg.Height
 	gv := 1 / g.cfg.RVertical

@@ -109,14 +109,16 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("workload: graph %q task %d depends on itself", g.Name, i)
 			}
 		}
-		for dst := range t.CommFlits {
+		// Cache the sorted successor order so the per-fire hot path never
+		// sorts the map again (see Task.Successors) — and validate in
+		// that same order, so a graph with several bad destinations
+		// always reports the lowest one instead of a random pick.
+		g.Tasks[i].succs = sortedSuccessors(&g.Tasks[i])
+		for _, dst := range g.Tasks[i].succs {
 			if dst < 0 || dst >= len(g.Tasks) {
 				return fmt.Errorf("workload: graph %q task %d sends to unknown task %d", g.Name, i, dst)
 			}
 		}
-		// Cache the sorted successor order so the per-fire hot path never
-		// sorts the map again (see Task.Successors).
-		g.Tasks[i].succs = sortedSuccessors(&g.Tasks[i])
 	}
 	if _, err := g.TopoOrder(); err != nil {
 		return err

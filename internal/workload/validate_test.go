@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// badDestGraph builds an otherwise-valid two-task graph whose task 0
+// sends flits to several nonexistent destinations.
+func badDestGraph() *Graph {
+	mk := func(id int) Task {
+		return Task{ID: id, WorkCycles: 100, DemandHz: 1e9, Activity: 0.5}
+	}
+	t0 := mk(0)
+	t0.CommFlits = map[int]int{9: 1, 5: 2, 7: 3}
+	return &Graph{Name: "bad-dest", Tasks: []Task{t0, mk(1)}, Iterations: 1}
+}
+
+// TestValidateReportsLowestBadDestination pins the maporder fix in
+// Validate: destination checking used to range over the CommFlits map
+// directly, so a graph with several invalid destinations reported a
+// randomly chosen one. Validation now walks the cached sorted successor
+// order, so the diagnostic is stable across runs — always the lowest id.
+func TestValidateReportsLowestBadDestination(t *testing.T) {
+	const want = "sends to unknown task 5"
+	var first string
+	for i := 0; i < 100; i++ {
+		err := badDestGraph().Validate()
+		if err == nil {
+			t.Fatal("Validate accepted a graph with unknown destinations")
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("run %d: error %q does not name the lowest bad destination (%s)", i, err, want)
+		}
+		if first == "" {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Fatalf("run %d: error drifted: %q vs %q", i, err, first)
+		}
+	}
+}
