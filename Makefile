@@ -5,7 +5,9 @@ GO ?= go
 .PHONY: all build vet test lint lint-fix-report bench bench-gate bench-baseline experiments quick-experiments examples fmt clean
 
 # Benchmarks gated against bench/baseline.txt by bench-gate (and CI).
-BENCH_GATE = BenchmarkSystemEpoch$$|BenchmarkNoCStep$$
+BENCH_GATE = BenchmarkSystemEpoch$$|BenchmarkNoCStep$$|BenchmarkThermalStep$$|BenchmarkSystemRun32$$
+# Packages holding gated benchmarks (root suite + thermal kernel).
+BENCH_PKGS = . ./internal/thermal
 BENCH_COUNT ?= 5
 # Longer per-run benchtime damps scheduler noise so the 10% gate
 # threshold measures the code, not the machine.
@@ -45,13 +47,13 @@ bench:
 # Re-measure the gated hot-path benchmarks and fail on a >10% mean
 # ns/op regression against the committed baseline.
 bench-gate:
-	$(GO) test -run=NONE -bench='$(BENCH_GATE)' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee bench/latest-gate.txt
+	$(GO) test -run=NONE -bench='$(BENCH_GATE)' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) $(BENCH_PKGS) | tee bench/latest-gate.txt
 	$(GO) run ./cmd/benchreport -check -baseline bench/baseline.txt bench/latest-gate.txt
 
 # Refresh the committed baseline (run on a quiet machine, then commit
 # bench/baseline.txt together with the change that moved the numbers).
 bench-baseline:
-	$(GO) test -run=NONE -bench='$(BENCH_GATE)' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee bench/baseline.txt
+	$(GO) test -run=NONE -bench='$(BENCH_GATE)' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) $(BENCH_PKGS) | tee bench/baseline.txt
 
 # Full paper-reproduction suite (several minutes; writes results/*.csv).
 experiments:

@@ -27,10 +27,13 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
-		check     = flag.Bool("check", false, "compare against -baseline instead of emitting JSON")
-		baseline  = flag.String("baseline", "bench/baseline.txt", "baseline benchmark capture for -check")
-		gate      = flag.String("gate", "BenchmarkSystemEpoch,BenchmarkNoCStep", "comma-separated benchmarks gated by -check")
+		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		check    = flag.Bool("check", false, "compare against -baseline instead of emitting JSON")
+		baseline = flag.String("baseline", "bench/baseline.txt", "baseline benchmark capture for -check")
+		gate     = flag.String("gate",
+			"BenchmarkSystemEpoch/serial,BenchmarkSystemEpoch/shards=1,BenchmarkSystemEpoch/shards=4,"+
+				"BenchmarkNoCStep,BenchmarkThermalStep/cores=1024,BenchmarkSystemRun32",
+			"comma-separated benchmarks gated by -check")
 		threshold = flag.Float64("threshold", 0.10, "fractional ns/op regression allowed by -check")
 	)
 	flag.Parse()

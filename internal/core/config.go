@@ -181,7 +181,26 @@ type Config struct {
 	// and "log" records the violation and continues, attaching the tally
 	// to the report. See internal/guard.
 	GuardPolicy string
+
+	// Shards is the number of row-block shards the per-epoch integrators
+	// (thermal stencil, power-model evaluation, aging update) fan out
+	// across a persistent worker group; 0 and 1 both run serial. The
+	// sharded path is byte-identical to the serial one at any shard
+	// count (see internal/shard and the differential harness in
+	// shard_diff_test.go), so this is purely a throughput knob, never a
+	// model parameter. It is excluded from JSON — and therefore from
+	// ConfigHash — so a snapshot taken at one shard count resumes at any
+	// other, and config files cannot bake in a machine-specific value
+	// (set it via the -shards flag instead).
+	Shards int `json:"-"`
 }
+
+// MaxMeshSide is the largest supported mesh dimension. It bounds what
+// config validation accepts so oversized meshes fail fast with a clear
+// message instead of deep inside assembly; 64x64 (4096 cores) is the
+// largest geometry the experiments exercise and the NoC/mapper address
+// spaces are tested to.
+const MaxMeshSide = 64
 
 // DefaultConfig returns the paper's headline setup: an 8x8 mesh at 16nm
 // with 8 DVFS levels, a dark-silicon TDP at 35% of theoretical peak (a
@@ -237,6 +256,13 @@ func (c Config) TDP() float64 {
 func (c Config) Validate() error {
 	if c.Width <= 0 || c.Height <= 0 {
 		return fmt.Errorf("core: invalid mesh %dx%d", c.Width, c.Height)
+	}
+	if c.Width > MaxMeshSide || c.Height > MaxMeshSide {
+		return fmt.Errorf("core: mesh %dx%d exceeds the supported maximum %dx%d",
+			c.Width, c.Height, MaxMeshSide, MaxMeshSide)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: Shards must be non-negative (0 or 1 = serial), got %d", c.Shards)
 	}
 	if err := c.Node.Validate(); err != nil {
 		return err
@@ -296,6 +322,13 @@ func (c Config) Validate() error {
 	if c.MemControllers > 0 && c.MemCapacityHz <= 0 {
 		return fmt.Errorf("core: MemCapacityHz must be positive")
 	}
+	if c.MemControllers > 2 && (c.Width < 2 || c.Height < 2) {
+		// Controllers 3 and 4 sit on the remaining mesh corners; on a
+		// single-row or single-column mesh those corners coincide with
+		// the first two, silently halving the modelled capacity.
+		return fmt.Errorf("core: %d memory controllers need a mesh of at least 2x2 (corners coincide on %dx%d)",
+			c.MemControllers, c.Width, c.Height)
+	}
 	switch c.NoCMode {
 	case "", "txn", "flit":
 	default:
@@ -305,6 +338,11 @@ func (c Config) Validate() error {
 	case "", "mesh", "torus":
 	default:
 		return fmt.Errorf("core: unknown NoCTopology %q (want mesh or torus)", c.NoCTopology)
+	}
+	if c.NoCTopology == "torus" && (c.Width < 2 || c.Height < 2) {
+		// A wraparound link on a length-1 dimension is a router self-loop.
+		return fmt.Errorf("core: torus topology needs both mesh dimensions >= 2, got %dx%d",
+			c.Width, c.Height)
 	}
 	if err := c.nocConfig().Validate(); err != nil {
 		return err

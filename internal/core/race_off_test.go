@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// wall-clock performance assertions only run without it.
+const raceEnabled = false

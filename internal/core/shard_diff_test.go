@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"potsim/internal/sbst"
+	"potsim/internal/sim"
+)
+
+// shardCounts returns the shard counts the differential harness proves
+// byte-identity for: 1 (group machinery with a serial plan), 2, 3 (a
+// count that does not divide typical meshes), and NumCPU (whatever the
+// host offers), deduplicated.
+func shardCounts() []int {
+	counts := []int{1, 2, 3}
+	n := runtime.NumCPU()
+	for _, c := range counts {
+		if c == n {
+			return counts
+		}
+	}
+	return append(counts, n)
+}
+
+// diffConfigs are the run configurations the harness sweeps: the paper's
+// default 8x8 setup, a 16x16 mesh with the stateful subsystems a
+// snapshot must carry (faults, segmented resumable tests, event log,
+// decommissioning), and the 32x32 large-mesh configuration. Horizons
+// are short but span hundreds of epochs each.
+func diffConfigs() map[string]Config {
+	small := DefaultConfig()
+	small.Horizon = 20 * sim.Millisecond
+
+	stateful := DefaultConfig()
+	stateful.Width, stateful.Height = 16, 16
+	stateful.Horizon = 10 * sim.Millisecond
+	stateful.EnableFaults = true
+	stateful.DecommissionOnDetect = true
+	stateful.AbortPolicy = sbst.ResumePhase
+	stateful.TestSegmentCycles = 20000
+	stateful.EventLogCapacity = 128
+	stateful.Seed = 3
+
+	large := DefaultConfig()
+	large.Width, large.Height = 32, 32
+	large.Horizon = 5 * sim.Millisecond
+	large.MeanInterarrival = 500 * sim.Microsecond
+	large.Seed = 5
+
+	return map[string]Config{"default-8x8": small, "stateful-16x16": stateful, "large-32x32": large}
+}
+
+// runToBytes runs cfg to completion and returns the rendered report
+// bytes and the final snapshot bytes.
+func runToBytes(t *testing.T, cfg Config) ([]byte, []byte) {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBlob := reportBytes(t, rep)
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBlob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repBlob, snapBlob
+}
+
+// TestShardedRunByteIdentical is the differential harness's headline:
+// for every configuration and every shard count, the full run's report
+// AND its final snapshot must be byte-for-byte the serial run's. Any
+// divergence — a reordered floating-point reduction, a racy write, a
+// shard-dependent value leaking into state — fails here first.
+func TestShardedRunByteIdentical(t *testing.T) {
+	for name, cfg := range diffConfigs() {
+		t.Run(name, func(t *testing.T) {
+			serialRep, serialSnap := runToBytes(t, cfg)
+			for _, shards := range shardCounts() {
+				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+					c := cfg
+					c.Shards = shards
+					rep, snap := runToBytes(t, c)
+					if !bytes.Equal(rep, serialRep) {
+						t.Errorf("report diverged from serial run\nsharded: %.400s\nserial:  %.400s", rep, serialRep)
+					}
+					if !bytes.Equal(snap, serialSnap) {
+						t.Errorf("final snapshot diverged from serial run (%d vs %d bytes)", len(snap), len(serialSnap))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardedStepEpochByteIdentical drives the engine-free StepEpoch
+// path (the benchmark/micro-driver entry point) and checks the sharded
+// system tracks the serial one epoch by epoch, closing the worker group
+// explicitly as StepEpoch drivers must.
+func TestShardedStepEpochByteIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 200 * sim.Millisecond
+	serial, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Shards = 3
+	sharded, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	for e := 0; e < 300; e++ {
+		if err := serial.StepEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.StepEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := serial.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharded.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("sharded StepEpoch state diverged from serial after 300 epochs")
+	}
+}
+
+// TestConfigHashIgnoresShards pins the snapshot-compatibility rule: the
+// shard count is a throughput knob, so it must not perturb ConfigHash —
+// otherwise a snapshot taken at one count could not resume at another.
+func TestConfigHashIgnoresShards(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.Shards = 7
+	ha, err := ConfigHash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := ConfigHash(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("ConfigHash depends on Shards: %s vs %s", ha, hb)
+	}
+}
+
+// TestCrossShardCountResume kills a sharded run mid-flight and resumes
+// the snapshot at different shard counts (including serial); every
+// combination must reproduce the uninterrupted serial report exactly.
+func TestCrossShardCountResume(t *testing.T) {
+	cfg := resumeConfig()
+	golden := reportBytes(t, mustRun(t, cfg))
+
+	killCfg := cfg
+	killCfg.Shards = 3
+	path := runKilledAt(t, killCfg, 120)
+	for _, shards := range []int{0, 2, 4} {
+		resumeCfg := cfg
+		resumeCfg.Shards = shards
+		rep := resumeFrom(t, resumeCfg, path)
+		if got := reportBytes(t, rep); !bytes.Equal(got, golden) {
+			t.Fatalf("resume at shards=%d diverged from the serial golden run", shards)
+		}
+	}
+}
+
+// TestLargeMeshRunUnderOneSecond is the scale acceptance gate: a
+// 1024-core (32x32) mesh simulating 50 ms of system time with
+// shards=NumCPU must finish in under one wall-clock second. Skipped
+// under the race detector, whose instrumentation slows the kernel by an
+// order of magnitude.
+func TestLargeMeshRunUnderOneSecond(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock budget does not apply under -race")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 32, 32
+	cfg.Horizon = 50 * sim.Millisecond
+	cfg.Shards = runtime.NumCPU()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if rep.TasksCompleted == 0 {
+		t.Fatal("1024-core run did no work")
+	}
+	if elapsed >= time.Second {
+		t.Fatalf("1024-core 50 ms run took %v, want < 1s", elapsed)
+	}
+	t.Logf("1024-core 50 ms run: %v wall clock at shards=%d", elapsed, cfg.Shards)
+}
+
+// TestShardedRunRace gives the race detector a full multi-shard system
+// run to chew on — the CI race job runs this package with -race, so any
+// shared-state write from a shard worker that the differential harness
+// could only see as divergence is also caught as a data race.
+func TestShardedRunRace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 5 * sim.Millisecond
+	cfg.Shards = 4
+	if _, err := mustRun(t, cfg).JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

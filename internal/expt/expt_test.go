@@ -20,8 +20,8 @@ func TestIDsDispatch(t *testing.T) {
 	if _, err := r.Run("nope"); err == nil {
 		t.Error("unknown id accepted")
 	}
-	if len(IDs()) != 18 {
-		t.Errorf("expected 18 experiments, got %d", len(IDs()))
+	if len(IDs()) != 19 {
+		t.Errorf("expected 19 experiments, got %d", len(IDs()))
 	}
 }
 
@@ -394,5 +394,50 @@ func TestE18SegmentGrains(t *testing.T) {
 	}
 	if res.Table.Rows[0][0] != "off" {
 		t.Errorf("first row should be the unsegmented baseline, got %q", res.Table.Rows[0][0])
+	}
+}
+
+func TestE19LargeMeshes(t *testing.T) {
+	res, err := quickRunner().E19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("E19 quick mode has %d rows, want 16x16 + 32x32", len(res.Table.Rows))
+	}
+	if res.Table.Rows[0][0] != "16x16" || res.Table.Rows[1][0] != "32x32" {
+		t.Errorf("unexpected mesh rows: %v, %v", res.Table.Rows[0][0], res.Table.Rows[1][0])
+	}
+}
+
+// TestGoldenAcrossShardCounts extends the golden-CSV reproducibility
+// suite to intra-run sharding: E1, E11 (flit co-simulation) and E15
+// quick cells must render byte-identically at every workers x shards
+// combination, because the sharded epoch path is byte-identical to the
+// serial one and the cell pool already guarantees order-independence.
+func TestGoldenAcrossShardCounts(t *testing.T) {
+	combos := []struct{ workers, shards int }{
+		{1, 2}, {1, 3}, {2, 2}, {8, 3},
+	}
+	for _, id := range []string{"E1", "E11", "E15"} {
+		t.Run(id, func(t *testing.T) {
+			golden, err := (&Runner{Quick: true, Workers: 1}).Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range combos {
+				got, err := (&Runner{Quick: true, Workers: c.workers, Shards: c.shards}).Run(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Render() != golden.Render() {
+					t.Errorf("workers=%d shards=%d: %s output diverged from serial golden\n-- sharded --\n%s\n-- golden --\n%s",
+						c.workers, c.shards, id, got.Render(), golden.Render())
+				}
+				if got.Table.CSV() != golden.Table.CSV() {
+					t.Errorf("workers=%d shards=%d: %s CSV diverged from serial golden", c.workers, c.shards, id)
+				}
+			}
+		})
 	}
 }

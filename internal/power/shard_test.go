@@ -1,0 +1,66 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"potsim/internal/shard"
+	"potsim/internal/sim"
+)
+
+// TestAccountantShardedSetters exercises the shard-safety contract of
+// SetWorkload/SetTest under -race: workers covering disjoint core
+// ranges write their slots concurrently, then the serial index-order
+// sums must be byte-identical to a fully serial accountant fed the same
+// values.
+func TestAccountantShardedSetters(t *testing.T) {
+	const cores = 257 // not a multiple of the shard count
+	mkBreakdown := func(id int) (Breakdown, Breakdown) {
+		wl := Breakdown{Dynamic: 0.1 + 0.001*float64(id), Leakage: 0.02 + 0.0001*float64(id)}
+		tst := Breakdown{Dynamic: 0.05 * float64(id%3), Leakage: 0.001 * float64(id)}
+		return wl, tst
+	}
+
+	serial, err := NewAccountant(cores, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < cores; id++ {
+		wl, tst := mkBreakdown(id)
+		serial.SetWorkload(id, wl)
+		serial.SetTest(id, tst)
+	}
+
+	sharded, err := NewAccountant(cores, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := shard.NewGroup(4)
+	defer group.Close()
+	blocks := shard.Partition(cores, group.Shards())
+	for round := 0; round < 10; round++ {
+		group.Run(func(i int) {
+			for id := blocks[i].From; id < blocks[i].To; id++ {
+				wl, tst := mkBreakdown(id)
+				sharded.SetWorkload(id, wl)
+				sharded.SetTest(id, tst)
+			}
+		})
+	}
+
+	if a, b := serial.WorkloadPower(), sharded.WorkloadPower(); math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("workload power diverged: %.17g vs %.17g", a, b)
+	}
+	if a, b := serial.TestPower(), sharded.TestPower(); math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("test power diverged: %.17g vs %.17g", a, b)
+	}
+	if err := serial.Advance(sim.Millisecond, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Advance(sim.Millisecond, 100); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := serial.EnergyJ(), sharded.EnergyJ(); math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("energy diverged: %.17g vs %.17g", a, b)
+	}
+}

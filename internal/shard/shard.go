@@ -1,0 +1,146 @@
+// Package shard provides the deterministic intra-run parallelism
+// substrate: a fixed row-block partition of an index space and a
+// persistent worker group that executes one function per shard with a
+// full barrier before returning.
+//
+// Determinism contract: the partition depends only on (n, count) — never
+// on timing, CPU count, or prior calls — and workers write exclusively to
+// per-shard slots (disjoint index ranges, per-shard scratch cells).
+// Order-sensitive reductions (floating-point sums, first-error picks)
+// are left to the caller, who folds the per-shard results in shard
+// order after the barrier. Under that discipline a sharded computation
+// is byte-identical to its serial equivalent at any shard count, which
+// internal/core's differential harness asserts end to end.
+package shard
+
+import "sync"
+
+// Range is a half-open [From, To) block of work indices. An empty range
+// (From == To) is valid: it appears when there are more shards than
+// rows, and its shard simply has no work.
+type Range struct {
+	From, To int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.To - r.From }
+
+// Partition splits the index space [0, n) into count contiguous blocks
+// whose sizes differ by at most one: shard i covers
+// [i*n/count, (i+1)*n/count). The result is an exact disjoint cover of
+// [0, n) in index order, is identical across calls (a pure function of
+// n and count), and never depends on the machine. count < 1 is treated
+// as 1 and n < 0 as 0, so every input yields a usable plan; the fuzz
+// target FuzzShardPartition pins these properties.
+func Partition(n, count int) []Range {
+	if count < 1 {
+		count = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	rs := make([]Range, count)
+	for i := 0; i < count; i++ {
+		rs[i] = Range{From: i * n / count, To: (i + 1) * n / count}
+	}
+	return rs
+}
+
+// Group is a persistent worker group executing one function per shard
+// with a barrier: Run(fn) returns only after fn(i) has completed for
+// every shard i in [0, Shards()). The group spawns Shards()-1 parked
+// goroutines once at construction; the caller's goroutine executes the
+// last shard, so a 1-shard group runs entirely inline and steady-state
+// Run performs no allocation (pinned by the zero-alloc tests).
+//
+// Run and Close serialise on an internal mutex, so Close during an
+// in-flight Run blocks until the barrier completes and can never strand
+// a worker mid-shard. After Close, Run degrades to executing all shards
+// serially on the caller — results are identical by the determinism
+// contract, so a closed group is safe, just no longer parallel.
+type Group struct {
+	mu     sync.Mutex
+	n      int
+	fn     func(shard int)
+	wg     sync.WaitGroup
+	start  []chan struct{}
+	quit   chan struct{}
+	closed bool
+}
+
+// NewGroup returns a group executing n shards per Run. n < 1 is treated
+// as 1 (a purely inline group with no worker goroutines).
+func NewGroup(n int) *Group {
+	if n < 1 {
+		n = 1
+	}
+	g := &Group{
+		n:     n,
+		start: make([]chan struct{}, n-1),
+		quit:  make(chan struct{}),
+	}
+	for i := range g.start {
+		g.start[i] = make(chan struct{}, 1)
+		go g.worker(i, g.start[i])
+	}
+	return g
+}
+
+// Shards returns the number of shards each Run executes.
+func (g *Group) Shards() int { return g.n }
+
+// worker parks on its start channel and executes shard i of the current
+// fn on each token. The channel send in Run happens-before the receive
+// here, so reading g.fn without further synchronisation is race-free;
+// the Done/Wait pair orders the write-back for the next Run.
+func (g *Group) worker(i int, start chan struct{}) {
+	for {
+		select {
+		case <-start:
+			g.fn(i)
+			g.wg.Done()
+		case <-g.quit:
+			return
+		}
+	}
+}
+
+// Run executes fn(i) for every shard i in [0, Shards()) and returns
+// once all have completed. fn must confine its writes to shard i's
+// disjoint slots (see the package contract). Steady-state Run allocates
+// nothing; hold on to one fn value rather than building a closure per
+// call to keep callers allocation-free too.
+//
+//potlint:allocfree
+func (g *Group) Run(fn func(shard int)) {
+	g.mu.Lock()
+	//potlint:coldpath single open-coded defer at function scope (not in a loop) — allocation-free, and keeps the mutex panic-safe; TestGroupRunZeroAlloc pins 0 allocs/op
+	defer g.mu.Unlock()
+	if g.closed {
+		for i := 0; i < g.n; i++ {
+			fn(i)
+		}
+		return
+	}
+	g.fn = fn
+	g.wg.Add(g.n - 1)
+	for _, ch := range g.start {
+		ch <- struct{}{}
+	}
+	fn(g.n - 1)
+	g.wg.Wait()
+	g.fn = nil
+}
+
+// Close releases the worker goroutines. It blocks until any in-flight
+// Run has passed its barrier, and is idempotent. Subsequent Run calls
+// execute serially on the caller with identical results.
+func (g *Group) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	close(g.quit)
+}

@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// checkCover fails unless rs is a disjoint exact cover of [0, n) in
+// index order: contiguous, non-overlapping, starting at 0, ending at n.
+func checkCover(t *testing.T, rs []Range, n, count int) {
+	t.Helper()
+	if len(rs) != count {
+		t.Fatalf("Partition(%d, %d): got %d ranges, want %d", n, count, len(rs), count)
+	}
+	prev := 0
+	for i, r := range rs {
+		if r.From != prev {
+			t.Fatalf("Partition(%d, %d): shard %d starts at %d, want %d", n, count, i, r.From, prev)
+		}
+		if r.To < r.From {
+			t.Fatalf("Partition(%d, %d): shard %d is inverted: %+v", n, count, i, r)
+		}
+		prev = r.To
+	}
+	if prev != n {
+		t.Fatalf("Partition(%d, %d): cover ends at %d, want %d", n, count, prev, n)
+	}
+}
+
+func TestPartitionProperties(t *testing.T) {
+	cases := []struct{ n, count int }{
+		{0, 1}, {0, 4}, {1, 1}, {1, 8}, {7, 3}, {8, 1}, {8, 2}, {8, 3},
+		{16, 4}, {64, 3}, {1024, 7}, {1024, 16}, {5, 5}, {5, 6}, {3, 100},
+	}
+	for _, c := range cases {
+		rs := Partition(c.n, c.count)
+		checkCover(t, rs, c.n, c.count)
+		// Balance: block sizes differ by at most one.
+		min, max := rs[0].Len(), rs[0].Len()
+		for _, r := range rs {
+			if r.Len() < min {
+				min = r.Len()
+			}
+			if r.Len() > max {
+				max = r.Len()
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("Partition(%d, %d): unbalanced blocks, sizes span [%d, %d]", c.n, c.count, min, max)
+		}
+	}
+}
+
+func TestPartitionClampsDegenerateInputs(t *testing.T) {
+	for _, rs := range [][]Range{Partition(8, 0), Partition(8, -3)} {
+		checkCover(t, rs, 8, 1)
+	}
+	checkCover(t, Partition(-5, 2), 0, 2)
+}
+
+// TestPartitionStable pins that the partition is a pure function: the
+// same (n, count) yields the same ranges on every call.
+func TestPartitionStable(t *testing.T) {
+	a := Partition(1024, 7)
+	b := Partition(1024, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Partition(1024, 7) unstable at shard %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func FuzzShardPartition(f *testing.F) {
+	f.Add(64, 4)
+	f.Add(0, 1)
+	f.Add(7, 3)
+	f.Add(1024, 16)
+	f.Add(-1, -1)
+	f.Fuzz(func(t *testing.T, n, count int) {
+		if n > 1<<20 || count > 1<<12 {
+			t.Skip("cap work per input")
+		}
+		wantN, wantCount := n, count
+		if wantCount < 1 {
+			wantCount = 1
+		}
+		if wantN < 0 {
+			wantN = 0
+		}
+		a := Partition(n, count)
+		if len(a) != wantCount {
+			t.Fatalf("Partition(%d, %d): got %d ranges, want %d", n, count, len(a), wantCount)
+		}
+		prev := 0
+		for i, r := range a {
+			if r.From != prev || r.To < r.From {
+				t.Fatalf("Partition(%d, %d): shard %d breaks cover: %+v (prev end %d)", n, count, i, r, prev)
+			}
+			prev = r.To
+		}
+		if prev != wantN {
+			t.Fatalf("Partition(%d, %d): cover ends at %d, want %d", n, count, prev, wantN)
+		}
+		b := Partition(n, count)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Partition(%d, %d): unstable at shard %d", n, count, i)
+			}
+		}
+	})
+}
+
+func TestGroupRunCoversAllShards(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		g := NewGroup(n)
+		hits := make([]int32, n)
+		for round := 0; round < 50; round++ {
+			g.Run(func(i int) { atomic.AddInt32(&hits[i], 1) })
+		}
+		g.Close()
+		for i, h := range hits {
+			if h != 50 {
+				t.Fatalf("n=%d: shard %d ran %d times, want 50", n, i, h)
+			}
+		}
+	}
+}
+
+func TestGroupRunIsABarrier(t *testing.T) {
+	g := NewGroup(4)
+	defer g.Close()
+	buf := make([]int, 4)
+	for round := 1; round <= 100; round++ {
+		r := round
+		g.Run(func(i int) { buf[i] = r })
+		// The barrier guarantees every shard's write is visible here.
+		for i, v := range buf {
+			if v != r {
+				t.Fatalf("round %d: shard %d wrote %d — Run returned before the barrier", r, i, v)
+			}
+		}
+	}
+}
+
+func TestGroupSerialAfterClose(t *testing.T) {
+	g := NewGroup(4)
+	g.Close()
+	g.Close() // idempotent
+	var order []int
+	g.Run(func(i int) { order = append(order, i) })
+	if len(order) != 4 {
+		t.Fatalf("closed group ran %d shards, want 4", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("closed group ran shards out of order: %v", order)
+		}
+	}
+}
+
+// TestGroupCloseMidBarrier exercises Close racing an in-flight Run: the
+// mutex must make Close wait for the barrier, never strand a worker
+// mid-shard, and never lose a completion. Run under -race this is the
+// cancellation-mid-barrier coverage the worker group is required to
+// pass.
+func TestGroupCloseMidBarrier(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		g := NewGroup(4)
+		var ran int32
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 30; r++ {
+				g.Run(func(int) {
+					atomic.AddInt32(&ran, 1)
+					runtime.Gosched()
+				})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			runtime.Gosched()
+			g.Close()
+		}()
+		wg.Wait()
+		if got := atomic.LoadInt32(&ran); got != 30*4 {
+			t.Fatalf("trial %d: %d shard executions, want %d", trial, got, 30*4)
+		}
+	}
+}
+
+// TestGroupRunZeroAlloc pins that steady-state Run allocates nothing
+// when the caller reuses one fn value, matching the per-epoch hot-path
+// discipline in internal/core.
+func TestGroupRunZeroAlloc(t *testing.T) {
+	g := NewGroup(4)
+	defer g.Close()
+	sink := make([]float64, 4)
+	fn := func(i int) { sink[i] += 1 }
+	// Warm up so the runtime's park/wake structures (sudogs) for the
+	// channel handshakes are cached before counting.
+	for i := 0; i < 100; i++ {
+		g.Run(fn)
+	}
+	if n := testing.AllocsPerRun(200, func() { g.Run(fn) }); n != 0 {
+		t.Fatalf("Group.Run allocated %v per call, want 0", n)
+	}
+}

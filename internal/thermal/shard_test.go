@@ -1,0 +1,181 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"potsim/internal/shard"
+	"potsim/internal/sim"
+)
+
+// advanceBoth drives a serial grid and a sharded grid through the same
+// power schedule and fails on the first bit difference in any node
+// temperature or in the peak statistic. Comparison is on Float64bits:
+// "byte-identical", not "close".
+func advanceBoth(t *testing.T, cfg Config, shards, epochs int, seed int64) {
+	t.Helper()
+	serial, err := NewGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := shard.NewGroup(shards)
+	defer group.Close()
+	sharded.Shard(group)
+
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]float64, serial.Cores())
+	for e := 1; e <= epochs; e++ {
+		for i := range p {
+			p[i] = rng.Float64() * 1.5
+		}
+		now := sim.Time(e) * 700 * sim.Microsecond // not a MaxStepS multiple: exercises substep tails
+		if err := serial.Advance(now, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Advance(now, p); err != nil {
+			t.Fatal(err)
+		}
+		for id := range serial.tempK {
+			a, b := serial.tempK[id], sharded.tempK[id]
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("epoch %d core %d: serial %x sharded %x (%.17g vs %.17g)",
+					e, id, math.Float64bits(a), math.Float64bits(b), a, b)
+			}
+		}
+		if math.Float64bits(serial.peakK) != math.Float64bits(sharded.peakK) {
+			t.Fatalf("epoch %d: peak diverged: %.17g vs %.17g", e, serial.peakK, sharded.peakK)
+		}
+	}
+}
+
+// TestShardedStepByteIdentical is the thermal half of the differential
+// harness: every (mesh, shard count) combination below must produce the
+// exact bit pattern of the serial kernel, including non-divisible row
+// counts (7 rows / 3 shards), more shards than rows, and the degenerate
+// w<3 meshes that take the all-branchy path.
+func TestShardedStepByteIdentical(t *testing.T) {
+	meshes := []struct{ w, h int }{
+		{8, 8}, {7, 7}, {16, 16}, {32, 32}, {2, 9}, {9, 2}, {1, 16}, {5, 3},
+	}
+	for _, m := range meshes {
+		for _, shards := range []int{2, 3, 4, 7} {
+			name := fmt.Sprintf("%dx%d/shards=%d", m.w, m.h, shards)
+			t.Run(name, func(t *testing.T) {
+				advanceBoth(t, DefaultConfig(m.w, m.h), shards, 25, int64(m.w*1000+m.h*10+shards))
+			})
+		}
+	}
+}
+
+// TestShardedSnapshotByteIdentical pins that the shard plan never leaks
+// into serialized state: snapshots from serial and sharded grids after
+// the same schedule are deeply equal, and a serial snapshot restores
+// into a sharded grid (the cross-shard-count resume story).
+func TestShardedSnapshotByteIdentical(t *testing.T) {
+	cfg := DefaultConfig(16, 16)
+	serial, _ := NewGrid(cfg)
+	sharded, _ := NewGrid(cfg)
+	group := shard.NewGroup(3)
+	defer group.Close()
+	sharded.Shard(group)
+
+	p := make([]float64, serial.Cores())
+	for i := range p {
+		p[i] = 0.3 + 0.001*float64(i)
+	}
+	for e := 1; e <= 10; e++ {
+		now := sim.Time(e) * sim.Millisecond
+		if err := serial.Advance(now, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Advance(now, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := serial.Snapshot(), sharded.Snapshot()
+	if a.LastAt != b.LastAt || math.Float64bits(a.PeakK) != math.Float64bits(b.PeakK) {
+		t.Fatalf("snapshot header diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.TempK {
+		if math.Float64bits(a.TempK[i]) != math.Float64bits(b.TempK[i]) {
+			t.Fatalf("snapshot temp %d diverged", i)
+		}
+	}
+
+	resumed, _ := NewGrid(cfg)
+	resumed.Shard(group)
+	if err := resumed.Restore(a); err != nil {
+		t.Fatal(err)
+	}
+	now := 20 * sim.Millisecond
+	if err := resumed.Advance(now, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.Advance(now, p); err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.tempK {
+		if math.Float64bits(serial.tempK[i]) != math.Float64bits(resumed.tempK[i]) {
+			t.Fatalf("post-resume temp %d diverged", i)
+		}
+	}
+}
+
+// TestShardResetToSerial pins that Shard(nil) and Shard(1-shard group)
+// fully restore the serial path.
+func TestShardResetToSerial(t *testing.T) {
+	g, _ := NewGrid(DefaultConfig(8, 8))
+	group := shard.NewGroup(4)
+	defer group.Close()
+	g.Shard(group)
+	if g.group == nil {
+		t.Fatal("Shard(group) did not install the plan")
+	}
+	g.Shard(nil)
+	if g.group != nil || g.stepShard != nil || g.rowBlocks != nil {
+		t.Fatal("Shard(nil) left sharded state behind")
+	}
+	one := shard.NewGroup(1)
+	defer one.Close()
+	g.Shard(one)
+	if g.group != nil {
+		t.Fatal("Shard(1-shard group) should use the serial path")
+	}
+}
+
+// TestShardedAdvanceZeroAlloc extends the hot-path allocation pin to the
+// sharded stencil: after warmup, Advance must not allocate.
+func TestShardedAdvanceZeroAlloc(t *testing.T) {
+	g, err := NewGrid(DefaultConfig(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := shard.NewGroup(4)
+	defer group.Close()
+	g.Shard(group)
+	p := make([]float64, g.Cores())
+	for i := range p {
+		p[i] = 0.5
+	}
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now += 100 * sim.Microsecond
+		if err := g.Advance(now, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		now += 100 * sim.Microsecond
+		if err := g.Advance(now, p); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("sharded Advance allocated %v per call, want 0", n)
+	}
+}
