@@ -38,8 +38,12 @@ func run(args []string) error {
 	horizon := fs.Duration("horizon", 300*time.Millisecond, "simulated horizon per point")
 	seeds := fs.Int("seeds", 2, "replications per point")
 	csvPath := fs.String("csv", "", "write the sweep as CSV")
+	shards := fs.Int("shards", 0, "epoch-integrator shards per simulation (0 = serial; results are identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0")
 	}
 
 	var tdps []float64
@@ -82,6 +86,7 @@ func run(args []string) error {
 				cfg.EnableFaults = true
 				cfg.Faults.BaseRatePerSec = 0.1
 				cfg.Seed = uint64(s)
+				cfg.Shards = *shards
 				rep, err := runOne(cfg)
 				if err != nil {
 					return err

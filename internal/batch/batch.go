@@ -205,6 +205,21 @@ feed:
 	return results, errors.Join(errs...)
 }
 
+// Run executes one job under the pool's per-cell robustness contract —
+// panic containment, the CellTimeout watchdog and the bounded retry
+// budget — without a pool. It is the job-level API the simulation
+// service uses: one submitted job is one "cell", so a poisoned job
+// surfaces as a *PanicError, a wedged one as a *TimeoutError, and
+// neither takes the caller down. Workers and OnCellDone are ignored.
+func Run[T any](ctx context.Context, opts Options, fn func(ctx context.Context) (T, error)) (T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runAttempts(ctx, opts, 0, func(ctx context.Context, _ int) (T, error) {
+		return fn(ctx)
+	})
+}
+
 // runAttempts drives one cell through its retry budget: the first
 // attempt plus up to opts.Retries more, backing off (doubling) between
 // attempts. On success the successful attempt's result is returned and

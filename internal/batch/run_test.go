@@ -1,0 +1,101 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSuccess: the trivial path returns the job's result.
+func TestRunSuccess(t *testing.T) {
+	got, err := Run(context.Background(), Options{}, func(ctx context.Context) (int, error) {
+		return 42, nil
+	})
+	if err != nil || got != 42 {
+		t.Fatalf("Run = %d, %v; want 42, nil", got, err)
+	}
+}
+
+// TestRunContainsPanic: a panicking job becomes a *PanicError carrying
+// the stack, never a process crash.
+func TestRunContainsPanic(t *testing.T) {
+	_, err := Run(context.Background(), Options{}, func(ctx context.Context) (int, error) {
+		panic("poisoned job")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error lost its stack")
+	}
+}
+
+// TestRunWatchdogTimeout: an overrunning job fails with *TimeoutError
+// and its context is cancelled so a cooperative job drains.
+func TestRunWatchdogTimeout(t *testing.T) {
+	cancelled := make(chan struct{})
+	start := time.Now()
+	_, err := Run(context.Background(), Options{CellTimeout: 20 * time.Millisecond},
+		func(ctx context.Context) (int, error) {
+			<-ctx.Done()
+			close(cancelled)
+			return 0, ctx.Err()
+		})
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v is not a *TimeoutError", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job context was never cancelled after the deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Run blocked %v on a wedged job", elapsed)
+	}
+}
+
+// TestRunRetriesTransientFailures: the retry budget applies to a single
+// job exactly as it does to a pool cell.
+func TestRunRetriesTransientFailures(t *testing.T) {
+	attempts := 0
+	got, err := Run(context.Background(), Options{Retries: 2},
+		func(ctx context.Context) (string, error) {
+			attempts++
+			if attempts < 3 {
+				return "", fmt.Errorf("transient %d", attempts)
+			}
+			return "ok", nil
+		})
+	if err != nil || got != "ok" {
+		t.Fatalf("Run = %q, %v; want ok, nil", got, err)
+	}
+	if attempts != 3 {
+		t.Fatalf("job ran %d times, want 3", attempts)
+	}
+}
+
+// TestRunExhaustionAggregatesAttempts: every attempt's error survives.
+func TestRunExhaustionAggregatesAttempts(t *testing.T) {
+	attempts := 0
+	_, err := Run(context.Background(), Options{Retries: 1},
+		func(ctx context.Context) (int, error) {
+			attempts++
+			return 0, fmt.Errorf("failure %d", attempts)
+		})
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	for _, want := range []string{"attempt 1", "attempt 2", "failure 1", "failure 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregate error %q lacks %q", err, want)
+		}
+	}
+	if attempts != 2 {
+		t.Fatalf("job ran %d times, want 2", attempts)
+	}
+}

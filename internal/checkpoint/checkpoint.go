@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -106,10 +107,17 @@ func Load(path, kind string, version int, out any) error {
 	return nil
 }
 
+// writeHook, when non-nil, replaces the temp-file write. It is a test
+// seam for disk faults (ENOSPC, short writes) that cannot be provoked
+// portably on a real filesystem; production writes never consult it
+// beyond the nil check.
+var writeHook func(f *os.File, data []byte) (int, error)
+
 // WriteFileAtomic writes data to path so that a crash at any instant
 // leaves either the previous file or the complete new one: the bytes go
 // to a temporary file in path's directory, the file is fsynced, renamed
-// over path, and the directory entry is fsynced.
+// over path, and the directory entry is fsynced. A failed or short write
+// removes the temp file and leaves the previous snapshot untouched.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -122,8 +130,20 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		os.Remove(tmpName)
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
+	write := (*os.File).Write
+	if writeHook != nil {
+		write = writeHook
+	}
+	n, err := write(tmp, data)
+	if err != nil {
 		return cleanup(err)
+	}
+	if n < len(data) {
+		// A short write without an error (the ENOSPC shape some
+		// filesystems produce) must not survive to the rename: the temp
+		// holds a truncated snapshot.
+		return cleanup(fmt.Errorf("checkpoint: short write to %s: %d of %d bytes: %w",
+			tmpName, n, len(data), io.ErrShortWrite))
 	}
 	if err := tmp.Chmod(perm); err != nil {
 		return cleanup(err)
@@ -146,4 +166,27 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		d.Close()
 	}
 	return nil
+}
+
+// CleanTemps removes the temp-file droppings a crash between temp write
+// and rename leaves in dir ("<name>.tmp*", the WriteFileAtomic pattern)
+// and returns the removed names. Loaders never read temp files, so the
+// droppings are harmless to correctness; this reclaims the space, e.g.
+// when a service reopens a per-job checkpoint directory after a crash.
+func CleanTemps(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, m := range matches {
+		if info, err := os.Stat(m); err != nil || info.IsDir() {
+			continue
+		}
+		if err := os.Remove(m); err != nil {
+			return removed, err
+		}
+		removed = append(removed, m)
+	}
+	return removed, nil
 }

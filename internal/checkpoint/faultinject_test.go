@@ -1,0 +1,183 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+type probe struct {
+	Value int    `json:"value"`
+	Note  string `json:"note"`
+}
+
+// saveProbe writes one known-good snapshot and returns its bytes.
+func saveProbe(t *testing.T, path string, v int) []byte {
+	t.Helper()
+	if err := Save(path, "probe", 1, probe{Value: v, Note: "prior"}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// loadProbe loads the snapshot and fails the test on any error.
+func loadProbe(t *testing.T, path string) probe {
+	t.Helper()
+	var p probe
+	if err := Load(path, "probe", 1, &p); err != nil {
+		t.Fatalf("prior snapshot did not survive: %v", err)
+	}
+	return p
+}
+
+// TestTornWriteLeavesPriorSnapshot simulates a crash between the temp
+// write and the rename: the orphaned temp file must not shadow or
+// corrupt the prior snapshot, Load must keep returning the old state,
+// and CleanTemps must reclaim the dropping.
+func TestTornWriteLeavesPriorSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	prior := saveProbe(t, path, 1)
+
+	// The crash: a fully-written temp file that never got renamed. Use
+	// the same naming pattern WriteFileAtomic uses.
+	torn := filepath.Join(dir, "state.ckpt.tmp1234567")
+	if err := os.WriteFile(torn, []byte(`{"half":"written`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := loadProbe(t, path); got.Value != 1 {
+		t.Fatalf("prior snapshot value %d, want 1", got.Value)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(prior) {
+		t.Fatal("prior snapshot bytes changed under a torn write")
+	}
+
+	// Recovery hygiene: the dropping is removed, the snapshot is not.
+	removed, err := CleanTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != torn {
+		t.Fatalf("CleanTemps removed %v, want just %s", removed, torn)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn temp file still present after CleanTemps")
+	}
+	if got := loadProbe(t, path); got.Value != 1 {
+		t.Fatalf("snapshot value %d after CleanTemps, want 1", got.Value)
+	}
+}
+
+// TestShortWriteKeepsPriorSnapshot injects the ENOSPC family of faults
+// into the temp-file write: an explicit ENOSPC error and a short write
+// without an error. Both must fail WriteFileAtomic, keep the prior
+// snapshot byte-identical, and leave no temp droppings behind.
+func TestShortWriteKeepsPriorSnapshot(t *testing.T) {
+	cases := []struct {
+		name string
+		hook func(f *os.File, data []byte) (int, error)
+		want error
+	}{
+		{
+			name: "enospc",
+			hook: func(f *os.File, data []byte) (int, error) {
+				// Half the payload lands before the disk fills.
+				n, _ := f.Write(data[:len(data)/2])
+				return n, syscall.ENOSPC
+			},
+			want: syscall.ENOSPC,
+		},
+		{
+			name: "silent-short-write",
+			hook: func(f *os.File, data []byte) (int, error) {
+				return f.Write(data[:len(data)/2])
+			},
+			want: io.ErrShortWrite,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.ckpt")
+			prior := saveProbe(t, path, 7)
+
+			writeHook = tc.hook
+			defer func() { writeHook = nil }()
+			err := Save(path, "probe", 1, probe{Value: 8, Note: "new"})
+			writeHook = nil
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Save error %v, want %v", err, tc.want)
+			}
+
+			if got := loadProbe(t, path); got.Value != 7 {
+				t.Fatalf("snapshot value %d after failed write, want 7", got.Value)
+			}
+			blob, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if string(blob) != string(prior) {
+				t.Fatal("prior snapshot bytes changed under a failed write")
+			}
+			entries, rerr := os.ReadDir(dir)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			for _, e := range entries {
+				if strings.Contains(e.Name(), ".tmp") {
+					t.Fatalf("temp dropping %s left behind by failed write", e.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestStaleTempDoesNotPoisonNextWrite pre-seeds the directory with a
+// stale temp file from an earlier crash: the next WriteFileAtomic must
+// still land the new content atomically, ignore the stale file, and
+// Load must return the new state.
+func TestStaleTempDoesNotPoisonNextWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	saveProbe(t, path, 1)
+
+	stale := filepath.Join(dir, "state.ckpt.tmp0000001")
+	if err := os.WriteFile(stale, []byte("stale garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := Save(path, "probe", 1, probe{Value: 2, Note: "fresh"}); err != nil {
+		t.Fatalf("Save with a stale temp present: %v", err)
+	}
+	if got := loadProbe(t, path); got.Value != 2 {
+		t.Fatalf("snapshot value %d, want the fresh 2", got.Value)
+	}
+	// The stale file is ignored, not resurrected: its bytes are
+	// unchanged until CleanTemps removes it.
+	blob, err := os.ReadFile(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "stale garbage" {
+		t.Fatal("stale temp file was rewritten")
+	}
+	if _, err := CleanTemps(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadProbe(t, path); got.Value != 2 {
+		t.Fatalf("snapshot value %d after CleanTemps, want 2", got.Value)
+	}
+}

@@ -239,11 +239,13 @@ type System struct {
 
 	// Crash-safety hooks: stopReq is set from any goroutine (signal
 	// handlers) and polled at epoch boundaries; ctx, when set, cancels
-	// the run promptly; ckptSink receives periodic and final snapshots.
+	// the run promptly; ckptSink receives periodic and final snapshots;
+	// onEpoch observes completed epochs (progress streaming).
 	stopReq   atomic.Bool
 	ctx       context.Context
 	ckptEvery int64
 	ckptSink  func(*Snapshot) error
+	onEpoch   func(epoch int64, now sim.Time)
 }
 
 // ErrInterrupted is returned by Run when RequestStop ended the run early.
@@ -271,6 +273,19 @@ func (s *System) CheckpointEvery(everyEpochs int64, sink func(*Snapshot) error) 
 	s.ckptEvery = everyEpochs
 	s.ckptSink = sink
 }
+
+// OnEpoch installs an observer invoked after every fully integrated
+// epoch with the total epoch count and the simulated time. It runs on
+// the simulation goroutine, so it must be fast and must not call back
+// into the system; a service uses it to stream per-epoch progress.
+// Call before Run.
+func (s *System) OnEpoch(fn func(epoch int64, now sim.Time)) { s.onEpoch = fn }
+
+// GuardExport returns a consistent snapshot of the run's invariant
+// violations so far. Safe to call from any goroutine while the
+// simulation is running — this is what a live health endpoint reads
+// mid-run, before the final Report exists.
+func (s *System) GuardExport() guard.Export { return s.guard.Export() }
 
 // New assembles a system from the configuration.
 func New(cfg Config) (*System, error) {
@@ -503,6 +518,9 @@ func (s *System) Run() (*Report, error) {
 		if err := s.epoch(e.Now()); err != nil {
 			fail(err)
 			return
+		}
+		if s.onEpoch != nil {
+			s.onEpoch(s.totalEpochs, e.Now())
 		}
 		stop := s.stopReq.Load()
 		if s.ckptSink != nil && (stop || (s.ckptEvery > 0 && s.totalEpochs%s.ckptEvery == 0)) {

@@ -79,6 +79,12 @@ type Runner struct {
 	// Progress, when non-nil, is called as an experiment's cells finish
 	// (completion order, serialised per experiment).
 	Progress func(id string, done, total int)
+	// OnCellEpoch, when non-nil, observes every integrated epoch of every
+	// cell: (experiment id, cell index, epochs completed, simulated time).
+	// Cells run concurrently, so calls interleave across cell indexes; the
+	// hook must be safe for concurrent use and fast (it runs on the
+	// simulation goroutines). A service uses it to stream live progress.
+	OnCellEpoch func(id string, cell int, epoch int64, now sim.Time)
 	// GuardPolicy is forwarded into every cell's configuration:
 	// "panic", "error" or "log" ("" selects the default, error).
 	GuardPolicy string
@@ -140,7 +146,7 @@ func (r *Runner) runCells(id string, cells []cell) (reports []*core.Report, retE
 		opts.OnCellDone = func(done, total int) { r.Progress(id, done, total) }
 	}
 	runOne := func(cctx context.Context, i int) (*core.Report, error) {
-		rep, err := r.runCell(cctx, r.cellCheckpointPath(id, i), cells[i])
+		rep, err := r.runCell(cctx, id, i, r.cellCheckpointPath(id, i), cells[i])
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cells[i].label, err)
 		}
@@ -215,8 +221,8 @@ func (r *Runner) cellCheckpointPath(id string, i int) string {
 // and gating the result through the report sanity check so a numerically
 // poisoned run surfaces as that cell's failure rather than as NaNs in a
 // rendered table.
-func (r *Runner) runCell(ctx context.Context, ckptPath string, c cell) (*core.Report, error) {
-	real := func() (*core.Report, error) { return r.run(ctx, ckptPath, c.cfg) }
+func (r *Runner) runCell(ctx context.Context, id string, idx int, ckptPath string, c cell) (*core.Report, error) {
+	real := func() (*core.Report, error) { return r.run(ctx, id, idx, ckptPath, c.cfg) }
 	var rep *core.Report
 	var err error
 	if r.Chaos != nil && r.Chaos.matches(c.label) {
@@ -290,13 +296,18 @@ func (r *Runner) seeds() []uint64 {
 // latest surviving snapshot instead of starting over. Flit-mode cells
 // cannot snapshot (in-flight network state is not serializable) and run
 // without mid-cell checkpoints; the journal still covers them.
-func (r *Runner) run(ctx context.Context, ckptPath string, cfg core.Config) (*core.Report, error) {
+func (r *Runner) run(ctx context.Context, id string, idx int, ckptPath string, cfg core.Config) (*core.Report, error) {
 	sys, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	if ctx != nil {
 		sys.SetContext(ctx)
+	}
+	if r.OnCellEpoch != nil {
+		sys.OnEpoch(func(epoch int64, now sim.Time) {
+			r.OnCellEpoch(id, idx, epoch, now)
+		})
 	}
 	if ckptPath != "" && cfg.NoCMode != "flit" {
 		if r.Resume {
@@ -370,6 +381,31 @@ func (a *agg) mean(x float64) float64 {
 // IDs lists the experiments in order.
 func IDs() []string {
 	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+}
+
+// ValidID reports whether id names a known experiment (case-insensitive,
+// the spelling Run accepts). Services validate submissions with it
+// before spending a queue slot.
+func ValidID(id string) bool {
+	up := strings.ToUpper(strings.TrimSpace(id))
+	for _, known := range IDs() {
+		if up == known {
+			return true
+		}
+	}
+	return false
+}
+
+// RunJob is the service-facing entrypoint: it executes one experiment
+// with the given context scoping cancellation, leaving the receiver
+// untouched (the runner value is copied, so one configured template
+// Runner can serve many concurrent jobs). The runner's durability
+// fields (CheckpointDir/Resume/CheckpointEvery) give each job its
+// journal and snapshots; Progress and OnCellEpoch stream its progress.
+func (r *Runner) RunJob(ctx context.Context, id string) (*Result, error) {
+	rr := *r
+	rr.Ctx = ctx
+	return rr.Run(id)
 }
 
 // Run dispatches one experiment by ID.

@@ -181,11 +181,11 @@ func TestCellDeterminism(t *testing.T) {
 	cfg.Seed = 7
 	cfg.EnableFaults = true
 
-	seq1, err := r.run(context.Background(), "", cfg)
+	seq1, err := r.run(context.Background(), "det", 0, "", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq2, err := r.run(context.Background(), "", cfg)
+	seq2, err := r.run(context.Background(), "det", 0, "", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

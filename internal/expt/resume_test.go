@@ -155,7 +155,7 @@ func TestRunResumesFromMidCellSnapshot(t *testing.T) {
 	cfg.Horizon = 10 * sim.Millisecond
 	cfg.Seed = 5
 
-	golden, err := (&Runner{}).run(context.Background(), "", cfg)
+	golden, err := (&Runner{}).run(context.Background(), "EX", 0, "", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestRunResumesFromMidCellSnapshot(t *testing.T) {
 		t.Fatalf("killed run returned %v", err)
 	}
 
-	rep, err := r.run(context.Background(), ckpt, cfg)
+	rep, err := r.run(context.Background(), "resume", 0, ckpt, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

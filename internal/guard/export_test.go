@@ -1,0 +1,111 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestExportUnderConcurrentViolations is the health-endpoint contract:
+// readers export the violation state while the epoch loop keeps
+// violating, and every export they observe is internally consistent
+// (run with -race this also proves the locking).
+func TestExportUnderConcurrentViolations(t *testing.T) {
+	c := New(LogAndContinue)
+	c.SetLog(nil)
+
+	const (
+		writers      = 4
+		perWriter    = 200
+		readers      = 4
+		readsPerSpin = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				_ = c.Violatef(fmt.Sprintf("inv.%d", w), "hit %d", i)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerSpin; i++ {
+				e := c.Export()
+				// Consistency within one export: the counter total must
+				// cover everything recorded plus everything dropped.
+				if e.Total < len(e.Record)+e.Dropped {
+					t.Errorf("inconsistent export: total %d < recorded %d + dropped %d",
+						e.Total, len(e.Record), e.Dropped)
+					return
+				}
+				if len(e.Record) > MaxRecorded {
+					t.Errorf("export record holds %d entries, bound is %d",
+						len(e.Record), MaxRecorded)
+					return
+				}
+				sum := 0
+				for _, n := range e.Counts {
+					sum += n
+				}
+				if sum != e.Total {
+					t.Errorf("export total %d disagrees with counter sum %d", e.Total, sum)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	e := c.Export()
+	want := writers * perWriter
+	if e.Total != want {
+		t.Fatalf("final export total %d, want %d", e.Total, want)
+	}
+	if len(e.Record) != MaxRecorded {
+		t.Fatalf("final record holds %d entries, want the %d bound", len(e.Record), MaxRecorded)
+	}
+	if e.Dropped != want-MaxRecorded {
+		t.Fatalf("dropped %d, want %d", e.Dropped, want-MaxRecorded)
+	}
+	// Mutating the export must not reach the checker (the copies are the
+	// caller's own).
+	e.Counts["inv.0"] = -1
+	e.Record[0].Detail = "tampered"
+	e2 := c.Export()
+	if e2.Counts["inv.0"] == -1 || e2.Record[0].Detail == "tampered" {
+		t.Fatal("export aliases the checker's internal state")
+	}
+}
+
+// TestExportOverflowBound pins the bounded-record overflow accounting on
+// a single writer: exactly MaxRecorded violations are recorded, the rest
+// are counted as dropped, and the per-invariant counters see all of them.
+func TestExportOverflowBound(t *testing.T) {
+	c := New(LogAndContinue)
+	c.SetLog(nil)
+	const extra = 37
+	for i := 0; i < MaxRecorded+extra; i++ {
+		_ = c.Violatef("power.finite", "violation %d", i)
+	}
+	e := c.Export()
+	if len(e.Record) != MaxRecorded {
+		t.Errorf("record holds %d entries, want %d", len(e.Record), MaxRecorded)
+	}
+	if e.Dropped != extra {
+		t.Errorf("dropped %d, want %d", e.Dropped, extra)
+	}
+	if e.Total != MaxRecorded+extra {
+		t.Errorf("total %d, want %d", e.Total, MaxRecorded+extra)
+	}
+	if e.Counts["power.finite"] != MaxRecorded+extra {
+		t.Errorf("counter %d, want %d", e.Counts["power.finite"], MaxRecorded+extra)
+	}
+	if e.Policy != "log" {
+		t.Errorf("policy %q, want log", e.Policy)
+	}
+}

@@ -90,9 +90,11 @@ func (e *ViolationError) Error() string {
 	return "guard: invariant violated: " + e.V.String()
 }
 
-// maxRecorded bounds the violation record attached to reports so a
+// MaxRecorded bounds the violation record attached to reports so a
 // pathological LogAndContinue run cannot grow memory without bound.
-const maxRecorded = 64
+// Further violations still count; Record/Snapshot report how many were
+// dropped past the bound.
+const MaxRecorded = 64
 
 // Checker evaluates invariants against a policy and keeps the tallies.
 // A zero Checker is not usable; construct with New. Methods are safe for
@@ -138,7 +140,7 @@ func (c *Checker) Violatef(name, format string, args ...any) error {
 
 	c.mu.Lock()
 	c.counts[name]++
-	if len(c.recorded) < maxRecorded {
+	if len(c.recorded) < MaxRecorded {
 		c.recorded = append(c.recorded, v)
 	} else {
 		c.dropped++
@@ -187,6 +189,40 @@ func (c *Checker) Record() (violations []Violation, dropped int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]Violation(nil), c.recorded...), c.dropped
+}
+
+// Export is a consistent point-in-time view of a checker's violation
+// state: totals, per-invariant counters, the bounded record and the
+// overflow count, all captured under one lock acquisition. It is what a
+// health endpoint serialises while the epoch loop is still violating —
+// the copies it holds are private to the caller. (Snapshot/Restore, by
+// contrast, are the checkpoint round-trip of the same state.)
+type Export struct {
+	Policy  string         `json:"policy"`
+	Total   int            `json:"total"`
+	Counts  map[string]int `json:"counts,omitempty"`
+	Record  []Violation    `json:"record,omitempty"`
+	Dropped int            `json:"dropped,omitempty"`
+}
+
+// Export captures the checker's current violation state. Safe to call
+// at any time from any goroutine, including concurrently with Violatef
+// from the simulation loop.
+func (c *Checker) Export() Export {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := Export{Policy: c.policy.String(), Dropped: c.dropped}
+	if len(c.counts) > 0 {
+		e.Counts = make(map[string]int, len(c.counts))
+		for k, v := range c.counts {
+			e.Counts[k] = v
+			e.Total += v
+		}
+	}
+	if len(c.recorded) > 0 {
+		e.Record = append([]Violation(nil), c.recorded...)
+	}
+	return e
 }
 
 // Summary renders the per-invariant tallies as one line, or "" when no

@@ -123,17 +123,17 @@ func TestSummaryEmptyWhenClean(t *testing.T) {
 func TestRecordIsBounded(t *testing.T) {
 	c := New(LogAndContinue)
 	c.SetLog(nil)
-	for i := 0; i < maxRecorded+10; i++ {
+	for i := 0; i < MaxRecorded+10; i++ {
 		c.Violatef("metrics.finite", "sample %d", i)
 	}
 	rec, dropped := c.Record()
-	if len(rec) != maxRecorded {
-		t.Errorf("record holds %d entries, want bound %d", len(rec), maxRecorded)
+	if len(rec) != MaxRecorded {
+		t.Errorf("record holds %d entries, want bound %d", len(rec), MaxRecorded)
 	}
 	if dropped != 10 {
 		t.Errorf("dropped = %d, want 10", dropped)
 	}
-	if c.Violations() != maxRecorded+10 {
+	if c.Violations() != MaxRecorded+10 {
 		t.Errorf("counter lost violations: %d", c.Violations())
 	}
 	// The returned record is a copy: mutating it must not affect the

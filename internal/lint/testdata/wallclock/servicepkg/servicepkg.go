@@ -1,0 +1,27 @@
+// Package servicepkg is analyzed under potsim/internal/service, the
+// HTTP service layer: request deadlines, Retry-After arithmetic and
+// drain timeouts are wall-clock by nature, so nothing here may be
+// flagged — the exemption covers exactly the server packages, while
+// the simulations the server runs stay locked down.
+package servicepkg
+
+import (
+	"os"
+	"time"
+)
+
+func jobDeadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget)
+}
+
+func jobAge(started time.Time) time.Duration {
+	return time.Since(started)
+}
+
+func drainPause() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+func listenAddrOverride() string {
+	return os.Getenv("POTSIMD_ADDR")
+}

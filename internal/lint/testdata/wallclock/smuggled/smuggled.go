@@ -1,0 +1,25 @@
+// Package smuggled is analyzed under potsim/internal/core: it proves
+// the server-package exemption did not widen the net — a time.Now
+// smuggled into the simulation core (even hidden inside a nested
+// closure or passed as a value) still fails the analyzer.
+package smuggled
+
+import "time"
+
+// epochStamp hides the clock read inside a nested closure, the shape a
+// well-meaning "let me just time this epoch" patch takes.
+func epochStamp() func() time.Time {
+	return func() time.Time {
+		return time.Now() // want `time.Now reads the host clock`
+	}
+}
+
+// progressHeartbeat sleeps between epochs — wall-clock pacing inside
+// the simulation is nondeterminism, not politeness.
+func progressHeartbeat() {
+	go func() {
+		for {
+			time.Sleep(time.Second) // want `time.Sleep reads the host clock`
+		}
+	}()
+}

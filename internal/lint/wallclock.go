@@ -19,10 +19,15 @@ var WallClock = &Analyzer{
 }
 
 // wallClockExempt names internal packages that legitimately touch the
-// host: the worker pool (timeouts, backoff), profiling lifecycle, and
-// the lint tooling itself.
+// host: the worker pool (timeouts, backoff), profiling lifecycle, the
+// lint tooling itself, and the HTTP service layer (request deadlines,
+// Retry-After arithmetic, drain timeouts are wall-clock by nature —
+// only the simulations the service runs stay deterministic). cmd/
+// front-ends, including cmd/potsimd, are exempt wholesale via the
+// internal/-only scope check in runWallClock.
 var wallClockExempt = map[string]bool{
 	"batch": true, "prof": true, "lint": true, "linttest": true,
+	"service": true,
 }
 
 // forbiddenTime lists time package functions that read or schedule

@@ -24,3 +24,29 @@ func TestWallClockCmdPackageIsExempt(t *testing.T) {
 		t.Fatalf("cmd/ packages are exempt, got %v", diags)
 	}
 }
+
+// TestWallClockServicePackageIsExempt: the HTTP service layer is a
+// server, not a simulation — request deadlines, Retry-After arithmetic
+// and drain timeouts legitimately read the host clock.
+func TestWallClockServicePackageIsExempt(t *testing.T) {
+	diags := linttest.Run(t, lint.WallClock, "testdata/wallclock/servicepkg", "potsim/internal/service")
+	if len(diags) != 0 {
+		t.Fatalf("internal/service is exempt, got %v", diags)
+	}
+}
+
+// TestWallClockDaemonCmdIsExempt: cmd/potsimd rides the blanket cmd/
+// exemption like every other front-end.
+func TestWallClockDaemonCmdIsExempt(t *testing.T) {
+	diags := linttest.Run(t, lint.WallClock, "testdata/wallclock/cmdpkg", "potsim/cmd/potsimd")
+	if len(diags) != 0 {
+		t.Fatalf("cmd/potsimd is exempt, got %v", diags)
+	}
+}
+
+// TestWallClockSmuggledIntoCoreStillFails: the server exemptions must
+// not widen the net — a time.Now smuggled into internal/core (hidden
+// in a closure, goroutine, whatever) still fails the analyzer.
+func TestWallClockSmuggledIntoCoreStillFails(t *testing.T) {
+	linttest.Run(t, lint.WallClock, "testdata/wallclock/smuggled", "potsim/internal/core")
+}

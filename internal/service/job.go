@@ -1,0 +1,293 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+
+	"potsim/internal/core"
+	"potsim/internal/guard"
+)
+
+// State is a job's lifecycle state. Terminal states are done, failed
+// and canceled; interrupted means the job was checkpointed by a drain
+// and will resume when a server restarts on the same data directory.
+type State string
+
+const (
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
+	StateInterrupted State = "interrupted"
+)
+
+// terminal reports whether no further transitions happen in this
+// process (interrupted counts: only a restart picks the job back up).
+func (s State) terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateInterrupted:
+		return true
+	}
+	return false
+}
+
+// Progress is the latest observed progress of a running job.
+type Progress struct {
+	Epochs     int64   `json:"epochs,omitempty"`
+	SimMS      float64 `json:"simMS,omitempty"`
+	CellsDone  int     `json:"cellsDone,omitempty"`
+	CellsTotal int     `json:"cellsTotal,omitempty"`
+}
+
+// ResultDoc is the persisted (and cached) outcome of a job. For sim
+// jobs Report is the core.Report JSON document; for suite jobs Text and
+// CSV carry the rendered table. The struct marshals deterministically,
+// which is what makes "byte-identical after kill/restart" a testable
+// claim at the service layer, not just inside core.
+type ResultDoc struct {
+	Kind            string          `json:"kind"`
+	Fingerprint     string          `json:"fingerprint"`
+	Experiment      string          `json:"experiment,omitempty"`
+	Title           string          `json:"title,omitempty"`
+	Report          json.RawMessage `json:"report,omitempty"`
+	Text            string          `json:"text,omitempty"`
+	CSV             string          `json:"csv,omitempty"`
+	GuardViolations int             `json:"guardViolations"`
+}
+
+// Job is one admitted submission. All mutable fields are guarded by mu;
+// accessors hand out copies so HTTP handlers never alias live state.
+type Job struct {
+	ID          string
+	Tenant      string
+	Spec        JobSpec
+	Fingerprint string
+
+	dir    string // per-job state directory; "" for cache-hit jobs
+	simCfg core.Config
+
+	broker *broker
+
+	mu            sync.Mutex
+	state         State
+	errMsg        string
+	result        []byte // marshalled ResultDoc
+	cached        bool   // served from the result cache
+	recovered     bool   // re-enqueued by a restart scan
+	progress      Progress
+	cancel        func()              // prompt abort (user cancel)
+	softStop      func()              // graceful checkpoint-and-stop (drain)
+	guardFn       func() guard.Export // live while a sim is running
+	userCanceled  bool
+	stopRequested bool
+	releaseOnce   sync.Once
+}
+
+// Status is the JSON view of a job returned by the HTTP API.
+type Status struct {
+	ID          string        `json:"id"`
+	Tenant      string        `json:"tenant"`
+	Kind        string        `json:"kind"`
+	Experiment  string        `json:"experiment,omitempty"`
+	Fingerprint string        `json:"fingerprint"`
+	State       State         `json:"state"`
+	Error       string        `json:"error,omitempty"`
+	Cached      bool          `json:"cached,omitempty"`
+	Recovered   bool          `json:"recovered,omitempty"`
+	Progress    Progress      `json:"progress"`
+	Guard       *guard.Export `json:"guard,omitempty"`
+}
+
+// Status snapshots the job for the API. The live guard export is
+// fetched outside any core lock — guard.Export takes its own.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	st := Status{
+		ID:          j.ID,
+		Tenant:      j.Tenant,
+		Kind:        j.Spec.Kind,
+		Experiment:  j.Spec.Experiment,
+		Fingerprint: j.Fingerprint,
+		State:       j.state,
+		Error:       j.errMsg,
+		Cached:      j.cached,
+		Recovered:   j.recovered,
+		Progress:    j.progress,
+	}
+	gf := j.guardFn
+	j.mu.Unlock()
+	if gf != nil {
+		ex := gf()
+		st.Guard = &ex
+	}
+	return st
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the marshalled ResultDoc, or (nil, false) until the
+// job is done.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	out := make([]byte, len(j.result))
+	copy(out, j.result)
+	return out, true
+}
+
+// Subscribe attaches an event stream with the given buffer depth.
+func (j *Job) Subscribe(buf int) *Subscriber { return j.broker.subscribe(buf) }
+
+// setRunning transitions queued -> running; returns false if the job
+// already settled (canceled while it sat in the queue).
+func (j *Job) setRunning(cancel func()) bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+	j.broker.publish(Event{Type: EventState, JobID: j.ID, State: StateRunning})
+	return true
+}
+
+// setHooks installs the live-run control points: the graceful stop used
+// by drains and the guard exporter surfaced by health endpoints.
+func (j *Job) setHooks(softStop func(), guardFn func() guard.Export) {
+	j.mu.Lock()
+	j.softStop = softStop
+	j.guardFn = guardFn
+	j.mu.Unlock()
+}
+
+func (j *Job) clearHooks() {
+	j.mu.Lock()
+	j.softStop = nil
+	j.guardFn = nil
+	j.cancel = nil
+	j.mu.Unlock()
+}
+
+// requestSoftStop asks a running job to checkpoint and stop; used by
+// drains. Queued jobs simply stay durable on disk.
+func (j *Job) requestSoftStop() {
+	j.mu.Lock()
+	j.stopRequested = true
+	stop := j.softStop
+	j.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// cancelOutcome reports what requestCancel did.
+type cancelOutcome int
+
+const (
+	cancelAlreadyTerminal cancelOutcome = iota
+	cancelSettledNow                    // was queued; settled to canceled here
+	cancelSignaled                      // was running; context canceled, worker settles it
+)
+
+// requestCancel aborts the job on behalf of the user. The settle for a
+// queued job happens atomically under j.mu, so exactly one caller — and
+// never the worker — observes cancelSettledNow and owns the follow-up
+// bookkeeping (marker, counters, slot release).
+func (j *Job) requestCancel() cancelOutcome {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return cancelAlreadyTerminal
+	}
+	j.userCanceled = true
+	cancel := j.cancel
+	if j.state == StateRunning {
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return cancelSignaled
+	}
+	// Still queued: settle it here; the worker skips terminal jobs.
+	j.state = StateCanceled
+	j.softStop = nil
+	j.guardFn = nil
+	j.cancel = nil
+	j.mu.Unlock()
+	j.broker.closeWith(Event{Type: EventState, JobID: j.ID, State: StateCanceled})
+	return cancelSettledNow
+}
+
+func (j *Job) wasUserCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCanceled
+}
+
+func (j *Job) wasStopRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stopRequested
+}
+
+// publishProgress records and (conflatably) broadcasts sim progress.
+func (j *Job) publishProgress(epochs int64, simMS float64) {
+	j.mu.Lock()
+	j.progress.Epochs = epochs
+	j.progress.SimMS = simMS
+	j.mu.Unlock()
+	j.broker.publish(Event{
+		Type: EventProgress, JobID: j.ID,
+		Epochs: epochs, SimMS: simMS, conflatable: true,
+	})
+}
+
+// publishCellEpoch broadcasts one suite cell's epoch progress. Cells
+// run concurrently, so the sampled per-cell epoch counts interleave;
+// the cell-completion events from publishCells carry the aggregate.
+func (j *Job) publishCellEpoch(cell int, epochs int64, simMS float64) {
+	j.broker.publish(Event{
+		Type: EventProgress, JobID: j.ID,
+		Cell: cell, Epochs: epochs, SimMS: simMS, conflatable: true,
+	})
+}
+
+// publishCells records and (conflatably) broadcasts suite progress.
+func (j *Job) publishCells(done, total int) {
+	j.mu.Lock()
+	j.progress.CellsDone = done
+	j.progress.CellsTotal = total
+	j.mu.Unlock()
+	j.broker.publish(Event{
+		Type: EventProgress, JobID: j.ID,
+		CellsDone: done, CellsTotal: total, conflatable: true,
+	})
+}
+
+// settle moves the job to a terminal state and emits the final event.
+func (j *Job) settle(state State, result []byte, errMsg string) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.softStop = nil
+	j.guardFn = nil
+	j.cancel = nil
+	j.mu.Unlock()
+	j.broker.closeWith(Event{Type: EventState, JobID: j.ID, State: state, Error: errMsg})
+}
