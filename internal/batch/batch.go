@@ -65,12 +65,55 @@ type Options struct {
 	Retries int
 
 	// RetryBackoff is the pause before the first retry; each further
-	// retry doubles it. Zero means retry immediately.
+	// retry doubles it, up to RetryBackoffMax. Zero means retry
+	// immediately.
 	RetryBackoff time.Duration
+
+	// RetryBackoffMax caps the doubling backoff so a deep retry budget
+	// cannot grow the pause without bound (8 retries at a 1 s base would
+	// otherwise reach 128 s). Zero selects the default cap of 10x
+	// RetryBackoff; negative disables the cap.
+	RetryBackoffMax time.Duration
 
 	// RetryIf decides whether a failed attempt is worth retrying. Nil
 	// selects the default: retry anything except panics and timeouts.
 	RetryIf func(error) bool
+}
+
+// backoffAfter returns the pause before the retry that follows the
+// given number of failed attempts (failures >= 1): RetryBackoff doubled
+// per further failure, clamped to the effective RetryBackoffMax. The
+// sequence is deterministic — base, 2x, 4x, ..., max, max — so retry
+// schedules are reproducible and testable.
+func (o Options) backoffAfter(failures int) time.Duration {
+	if o.RetryBackoff <= 0 || failures < 1 {
+		return 0
+	}
+	max := o.RetryBackoffMax
+	if max == 0 {
+		max = 10 * o.RetryBackoff
+	}
+	b := o.RetryBackoff
+	for i := 1; i < failures; i++ {
+		b *= 2
+		if max > 0 && b >= max {
+			return max
+		}
+		if b <= 0 { // overflow far beyond any real cap
+			return maxDuration(o.RetryBackoff, max)
+		}
+	}
+	if max > 0 && b > max {
+		return max
+	}
+	return b
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // workers resolves the effective pool size for n cells.
@@ -232,12 +275,11 @@ func runAttempts[T any](ctx context.Context, opts Options, i int, fn func(contex
 		return result, err
 	}
 	attemptErrs := []error{fmt.Errorf("attempt 1: %w", err)}
-	backoff := opts.RetryBackoff
 	for a := 2; a <= opts.Retries+1; a++ {
 		if !opts.retryable(err) || ctx.Err() != nil {
 			break
 		}
-		if backoff > 0 {
+		if backoff := opts.backoffAfter(a - 1); backoff > 0 {
 			timer := time.NewTimer(backoff)
 			select {
 			case <-timer.C:
@@ -246,7 +288,6 @@ func runAttempts[T any](ctx context.Context, opts Options, i int, fn func(contex
 				var zero T
 				return zero, errors.Join(append(attemptErrs, context.Cause(ctx))...)
 			}
-			backoff *= 2
 		}
 		result, err = runWithWatchdog(ctx, opts, i, fn)
 		if err == nil {

@@ -401,3 +401,50 @@ func TestMapRetryIfOverridesDefault(t *testing.T) {
 		t.Errorf("RetryIf=false still attempted %d times, want 1", got)
 	}
 }
+
+// TestBackoffSequenceIsCapped: the retry pause doubles from the base and
+// clamps at RetryBackoffMax — base, 2x, 4x, ..., max, max — so a deep
+// retry budget cannot grow the pause without bound and the schedule is
+// deterministic.
+func TestBackoffSequenceIsCapped(t *testing.T) {
+	opts := Options{RetryBackoff: 10 * time.Millisecond, RetryBackoffMax: 40 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		40 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := opts.backoffAfter(i + 1); got != w {
+			t.Errorf("backoffAfter(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffDefaultCapIsTenTimesBase: leaving RetryBackoffMax zero caps
+// the doubling at 10x the base instead of letting it run away.
+func TestBackoffDefaultCapIsTenTimesBase(t *testing.T) {
+	opts := Options{RetryBackoff: time.Second}
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		10 * time.Second, 10 * time.Second, 10 * time.Second,
+	}
+	for i, w := range want {
+		if got := opts.backoffAfter(i + 1); got != w {
+			t.Errorf("backoffAfter(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// A negative cap disables clamping entirely.
+	uncapped := Options{RetryBackoff: time.Millisecond, RetryBackoffMax: -1}
+	if got := uncapped.backoffAfter(6); got != 32*time.Millisecond {
+		t.Errorf("uncapped backoffAfter(6) = %v, want 32ms", got)
+	}
+	// No base means no pause whatever the attempt count.
+	if got := (Options{}).backoffAfter(3); got != 0 {
+		t.Errorf("zero-base backoffAfter(3) = %v, want 0", got)
+	}
+	// Doubling that overflows time.Duration falls back to the cap, never
+	// to a negative pause.
+	huge := Options{RetryBackoff: time.Duration(1) << 61, RetryBackoffMax: -1}
+	if got := huge.backoffAfter(4); got < 0 {
+		t.Errorf("overflowed backoff is negative: %v", got)
+	}
+}

@@ -1,0 +1,160 @@
+package dse
+
+import (
+	"fmt"
+
+	"potsim/internal/core"
+	"potsim/internal/sim"
+	"potsim/internal/tech"
+)
+
+// Space is the lazily-enumerated design space of one campaign. It
+// pre-parses the axes once and decodes any cell index into its
+// coordinates on demand — the full cell list (millions of core.Config
+// values for a large campaign) is never materialized; memory stays
+// bounded by the axes themselves.
+//
+// The index encoding is mixed-radix with the seed varying fastest:
+//
+//	index = ((((mesh*|nodes| + node)*|tdp| + tdp)*|iv| + iv)*|pol| + pol)*seeds + (seed-1)
+//
+// so enumeration order — and therefore journal keys, frontier
+// tie-breaking and CSV row order — is a pure function of the spec.
+type Space struct {
+	spec   *Spec
+	meshes []meshDim
+	nodes  []tech.Node
+	pols   []core.TestPolicyKind
+	count  int64
+}
+
+type meshDim struct {
+	label string
+	w, h  int
+}
+
+// NewSpace parses the spec's axes into an enumerable space.
+func NewSpace(spec *Spec) (*Space, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Space{spec: spec}
+	for _, m := range spec.Meshes {
+		w, h, err := parseMesh(m)
+		if err != nil {
+			return nil, err
+		}
+		s.meshes = append(s.meshes, meshDim{label: m, w: w, h: h})
+	}
+	for _, n := range spec.Nodes {
+		node, err := tech.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes = append(s.nodes, node)
+	}
+	for _, p := range spec.Policies {
+		pol, err := parsePolicy(p)
+		if err != nil {
+			return nil, err
+		}
+		s.pols = append(s.pols, pol)
+	}
+	s.count = int64(len(s.meshes)) * int64(len(s.nodes)) *
+		int64(len(spec.TDPFractions)) * int64(len(spec.BaseIntervalsMS)) *
+		int64(len(s.pols)) * int64(spec.Seeds)
+	return s, nil
+}
+
+// Count is the number of cells in the space.
+func (s *Space) Count() int64 { return s.count }
+
+// Point is one decoded cell of the space.
+type Point struct {
+	Index        int64
+	Mesh         string
+	W, H         int
+	Node         tech.Node
+	TDPFraction  float64
+	BaseInterval sim.Time
+	Policy       core.TestPolicyKind
+	Seed         uint64
+}
+
+// Point decodes cell index i into its coordinates. It panics on an
+// out-of-range index — indexes only ever come from the engine's own
+// enumeration, so a bad one is a programming error, not an input error.
+func (s *Space) Point(i int64) Point {
+	if i < 0 || i >= s.count {
+		panic(fmt.Sprintf("dse: cell index %d outside space of %d cells", i, s.count))
+	}
+	rest := i
+	seed := rest % int64(s.spec.Seeds)
+	rest /= int64(s.spec.Seeds)
+	pol := rest % int64(len(s.pols))
+	rest /= int64(len(s.pols))
+	iv := rest % int64(len(s.spec.BaseIntervalsMS))
+	rest /= int64(len(s.spec.BaseIntervalsMS))
+	tdp := rest % int64(len(s.spec.TDPFractions))
+	rest /= int64(len(s.spec.TDPFractions))
+	node := rest % int64(len(s.nodes))
+	mesh := rest / int64(len(s.nodes))
+	m := s.meshes[mesh]
+	return Point{
+		Index:        i,
+		Mesh:         m.label,
+		W:            m.w,
+		H:            m.h,
+		Node:         s.nodes[node],
+		TDPFraction:  s.spec.TDPFractions[tdp],
+		BaseInterval: sim.FromSeconds(s.spec.BaseIntervalsMS[iv] / 1000),
+		Policy:       s.pols[pol],
+		Seed:         uint64(seed) + 1,
+	}
+}
+
+// Label names the cell for error reports, chaos matching and the
+// quarantine record.
+func (p Point) Label() string {
+	return fmt.Sprintf("cell=%d mesh=%s node=%s tdp=%v iv=%vms policy=%s seed=%d",
+		p.Index, p.Mesh, p.Node.Name, p.TDPFraction,
+		p.BaseInterval.Millis(), p.Policy, p.Seed)
+}
+
+// Config builds the cell's simulation configuration at the given
+// horizon. Arrivals and memory capacity scale with core count (as in
+// experiments E6/E19) so every mesh size sees comparable pressure;
+// meshes too small for the embedded task-graph library were already
+// rejected at spec load.
+func (s *Space) Config(p Point, horizon sim.Time) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Width, cfg.Height = p.W, p.H
+	cfg.Node = p.Node
+	cfg.Horizon = horizon
+	cfg.TDPFraction = p.TDPFraction
+	cfg.TDPWatts = 0
+	cfg.Criticality.BaseInterval = p.BaseInterval
+	cfg.TestPolicy = p.Policy
+	cfg.Seed = p.Seed
+	cfg.MapperName = "NN" // identical mapping across policies by default
+	if s.spec.Mapper != "" {
+		cfg.MapperName = s.spec.Mapper
+	}
+	baseIAT := 2 * sim.Millisecond
+	if s.spec.MeanInterarrivalMS > 0 {
+		baseIAT = sim.FromSeconds(s.spec.MeanInterarrivalMS / 1000)
+	}
+	cores := p.W * p.H
+	cfg.MeanInterarrival = sim.Time(int64(baseIAT) * 64 / int64(cores))
+	if cfg.MeanInterarrival <= 0 {
+		cfg.MeanInterarrival = 1
+	}
+	cfg.MemCapacityHz *= float64(cores) / 64 // interfaces scale with integration
+	if s.spec.EnableFaults {
+		cfg.EnableFaults = true
+		if s.spec.FaultRatePerSec > 0 {
+			cfg.Faults.BaseRatePerSec = s.spec.FaultRatePerSec
+		}
+	}
+	return cfg
+}

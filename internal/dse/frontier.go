@@ -1,0 +1,144 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NumObjectives is the dimensionality of the campaign's objective
+// vector.
+const NumObjectives = 4
+
+// Objectives is one cell's outcome mapped onto the minimised objective
+// vector {throughput penalty, -coverage, peak temperature, -headroom}:
+// coverage and power headroom are benefits, so they enter negated and
+// the whole frontier is a pure minimisation.
+type Objectives [NumObjectives]float64
+
+// ObjectiveNames labels the vector's dimensions in report order.
+var ObjectiveNames = [NumObjectives]string{
+	"penaltyPct", "negCoverage", "peakTempK", "negHeadroomW",
+}
+
+// Valid reports whether every component is a finite number. NaN is
+// incomparable under domination and would silently corrupt the
+// frontier, so sick vectors are rejected at the door.
+func (o Objectives) Valid() bool {
+	for _, v := range o {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates reports whether a Pareto-dominates b under minimisation:
+// a is at least as good in every dimension and strictly better in one.
+// Equal vectors do not dominate each other (both stay on the frontier,
+// matching metrics.ParetoMin).
+func dominates(a, b Objectives) bool {
+	oneLess := false
+	for d := 0; d < NumObjectives; d++ {
+		if a[d] > b[d] {
+			return false
+		}
+		if a[d] < b[d] {
+			oneLess = true
+		}
+	}
+	return oneLess
+}
+
+// Entry is one frontier member: the cell's campaign index and its
+// objective vector.
+type Entry struct {
+	Index int64
+	Obj   Objectives
+}
+
+// Frontier maintains the running set of non-dominated cells under
+// incremental insertion. Membership depends only on the set of inserted
+// entries, never on their order, so the final frontier of a resumed or
+// reshuffled campaign is identical to an uninterrupted serial one.
+type Frontier struct {
+	members []Entry
+}
+
+// Insert offers one cell to the frontier. A dominated candidate is
+// dropped; otherwise it joins and evicts every member it dominates.
+// Duplicate vectors coexist (distinct cells with identical outcomes are
+// all reported).
+func (f *Frontier) Insert(e Entry) error {
+	if !e.Obj.Valid() {
+		return fmt.Errorf("dse: cell %d has a non-finite objective vector %v", e.Index, e.Obj)
+	}
+	for _, m := range f.members {
+		if dominates(m.Obj, e.Obj) {
+			return nil
+		}
+	}
+	kept := f.members[:0]
+	for _, m := range f.members {
+		if !dominates(e.Obj, m.Obj) {
+			kept = append(kept, m)
+		}
+	}
+	f.members = append(kept, e)
+	return nil
+}
+
+// Len is the current frontier size.
+func (f *Frontier) Len() int { return len(f.members) }
+
+// Members returns the frontier sorted by cell index — the stable
+// presentation order every report and CSV uses.
+func (f *Frontier) Members() []Entry {
+	out := append([]Entry(nil), f.members...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Peel ranks the entries by iterated non-dominated sorting and returns
+// the indexes of every entry in the first keepRanks ranks, sorted
+// ascending. Rank 1 is the Pareto frontier of the whole set; rank 2 the
+// frontier of what remains once rank 1 is removed; and so on. This is
+// the survivor-selection step of successive halving: keepRanks = 1
+// keeps exactly the screening frontier, higher values add margin for
+// cells the short screening horizon misjudges. keepRanks <= 0 keeps
+// everything.
+func Peel(entries []Entry, keepRanks int) []int64 {
+	if keepRanks <= 0 {
+		out := make([]int64, 0, len(entries))
+		for _, e := range entries {
+			out = append(out, e.Index)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	remaining := append([]Entry(nil), entries...)
+	var out []int64
+	for rank := 0; rank < keepRanks && len(remaining) > 0; rank++ {
+		var fr Frontier
+		for _, e := range remaining {
+			// Entries reaching Peel were already validated on insert.
+			if err := fr.Insert(e); err != nil {
+				continue
+			}
+		}
+		onFront := make(map[int64]bool, fr.Len())
+		for _, m := range fr.Members() {
+			out = append(out, m.Index)
+			onFront[m.Index] = true
+		}
+		next := remaining[:0]
+		for _, e := range remaining {
+			if !onFront[e.Index] {
+				next = append(next, e)
+			}
+		}
+		remaining = next
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

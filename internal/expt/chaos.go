@@ -57,6 +57,17 @@ func (c *Chaos) matches(label string) bool {
 	return c.Match == "" || strings.Contains(label, c.Match)
 }
 
+// Matches reports whether the cell labelled label is targeted for
+// injection. It is the exported form of the harness-internal matcher,
+// for external cell executors (the DSE campaign engine).
+func (c *Chaos) Matches(label string) bool { return c.matches(label) }
+
+// Run executes one targeted cell with the injected failure; real is the
+// untampered simulation. Callers must only pass cells Matches accepted.
+func (c *Chaos) Run(ctx context.Context, label string, real func() (*core.Report, error)) (*core.Report, error) {
+	return c.run(ctx, label, real)
+}
+
 // run executes one targeted cell with the injected failure; real is the
 // untampered simulation.
 func (c *Chaos) run(ctx context.Context, label string, real func() (*core.Report, error)) (*core.Report, error) {

@@ -288,15 +288,46 @@ func (r *Runner) seeds() []uint64 {
 	return []uint64{r.BaseSeed + 1, r.BaseSeed + 2, r.BaseSeed + 3}
 }
 
-// run executes one simulation. The context, when non-nil, cancels the
-// run at its next epoch boundary, so batch cancellation and cell
-// timeouts reach in-flight simulations promptly instead of waiting them
-// out. A non-empty ckptPath makes the run snapshot its state there
-// every CheckpointEvery epochs and, under Resume, continue from the
-// latest surviving snapshot instead of starting over. Flit-mode cells
-// cannot snapshot (in-flight network state is not serializable) and run
-// without mid-cell checkpoints; the journal still covers them.
+// run executes one simulation through the shared ExecuteCell
+// entrypoint, wiring the runner's epoch hook and durability fields.
 func (r *Runner) run(ctx context.Context, id string, idx int, ckptPath string, cfg core.Config) (*core.Report, error) {
+	opts := CellOptions{
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: r.CheckpointEvery,
+		Resume:          r.Resume,
+	}
+	if r.OnCellEpoch != nil {
+		opts.OnEpoch = func(epoch int64, now sim.Time) {
+			r.OnCellEpoch(id, idx, epoch, now)
+		}
+	}
+	return ExecuteCell(ctx, cfg, opts)
+}
+
+// CellOptions configures one ExecuteCell invocation.
+type CellOptions struct {
+	// CheckpointPath, when non-empty, makes the run snapshot its state
+	// there every CheckpointEvery epochs; under Resume it continues from
+	// the latest surviving snapshot instead of starting over.
+	CheckpointPath  string
+	CheckpointEvery int64
+	Resume          bool
+	// OnEpoch, when non-nil, observes every integrated epoch (it runs on
+	// the simulation goroutine — keep it fast).
+	OnEpoch func(epoch int64, now sim.Time)
+}
+
+// ExecuteCell is the shared cell-execution entrypoint: it runs one
+// simulation configuration to completion and gates the result through
+// the report sanity check, so a numerically poisoned run surfaces as an
+// error instead of NaNs in downstream aggregation. The experiment
+// harness and the DSE campaign engine both funnel their cells through
+// it. The context, when non-nil, cancels the run at its next epoch
+// boundary, so batch cancellation and cell timeouts reach in-flight
+// simulations promptly instead of waiting them out. Flit-mode cells
+// cannot snapshot (in-flight network state is not serializable) and run
+// without mid-cell checkpoints; a cell journal still covers them.
+func ExecuteCell(ctx context.Context, cfg core.Config, opts CellOptions) (*core.Report, error) {
 	sys, err := core.New(cfg)
 	if err != nil {
 		return nil, err
@@ -304,13 +335,15 @@ func (r *Runner) run(ctx context.Context, id string, idx int, ckptPath string, c
 	if ctx != nil {
 		sys.SetContext(ctx)
 	}
-	if r.OnCellEpoch != nil {
-		sys.OnEpoch(func(epoch int64, now sim.Time) {
-			r.OnCellEpoch(id, idx, epoch, now)
-		})
+	if opts.OnEpoch != nil {
+		sys.OnEpoch(opts.OnEpoch)
+	}
+	ckptPath := opts.CheckpointPath
+	if ckptPath != "" && opts.CheckpointEvery <= 0 {
+		ckptPath = ""
 	}
 	if ckptPath != "" && cfg.NoCMode != "flit" {
-		if r.Resume {
+		if opts.Resume {
 			var snap core.Snapshot
 			err := checkpoint.Load(ckptPath, core.SnapshotKind, core.SnapshotVersion, &snap)
 			switch {
@@ -324,19 +357,25 @@ func (r *Runner) run(ctx context.Context, id string, idx int, ckptPath string, c
 				return nil, err
 			}
 		}
-		sys.CheckpointEvery(r.CheckpointEvery, func(snap *core.Snapshot) error {
+		sys.CheckpointEvery(opts.CheckpointEvery, func(snap *core.Snapshot) error {
 			return checkpoint.Save(ckptPath, core.SnapshotKind, core.SnapshotVersion, snap)
 		})
 	}
 	rep, err := sys.Run()
-	if err == nil && ckptPath != "" {
+	if err != nil {
+		return rep, err
+	}
+	if ckptPath != "" {
 		// The cell finished: its snapshot must not shadow a later fresh
 		// run of the same cell index.
 		if rmErr := os.Remove(ckptPath); rmErr != nil && !os.IsNotExist(rmErr) {
 			return nil, rmErr
 		}
 	}
-	return rep, err
+	if serr := rep.Sanity(); serr != nil {
+		return nil, fmt.Errorf("report failed post-run sanity: %w", serr)
+	}
+	return rep, nil
 }
 
 // baseConfig is the shared starting point of all experiments.

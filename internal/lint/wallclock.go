@@ -20,14 +20,17 @@ var WallClock = &Analyzer{
 
 // wallClockExempt names internal packages that legitimately touch the
 // host: the worker pool (timeouts, backoff), profiling lifecycle, the
-// lint tooling itself, and the HTTP service layer (request deadlines,
+// lint tooling itself, the HTTP service layer (request deadlines,
 // Retry-After arithmetic, drain timeouts are wall-clock by nature —
-// only the simulations the service runs stay deterministic). cmd/
-// front-ends, including cmd/potsimd, are exempt wholesale via the
-// internal/-only scope check in runWallClock.
+// only the simulations the service runs stay deterministic), and the
+// DSE campaign engine (retry backoff timers, progress/ETA reporting
+// and the status file are host-time observability; the cells it runs
+// remain deterministic simulations). cmd/ front-ends, including
+// cmd/potsimd, are exempt wholesale via the internal/-only scope check
+// in runWallClock.
 var wallClockExempt = map[string]bool{
 	"batch": true, "prof": true, "lint": true, "linttest": true,
-	"service": true,
+	"service": true, "dse": true,
 }
 
 // forbiddenTime lists time package functions that read or schedule

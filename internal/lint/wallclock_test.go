@@ -44,6 +44,16 @@ func TestWallClockDaemonCmdIsExempt(t *testing.T) {
 	}
 }
 
+// TestWallClockDSEPackageIsExempt: the campaign engine orchestrates
+// simulations but is not one — backoff timers, progress/ETA lines and
+// the status file legitimately read the host clock.
+func TestWallClockDSEPackageIsExempt(t *testing.T) {
+	diags := linttest.Run(t, lint.WallClock, "testdata/wallclock/dsepkg", "potsim/internal/dse")
+	if len(diags) != 0 {
+		t.Fatalf("internal/dse is exempt, got %v", diags)
+	}
+}
+
 // TestWallClockSmuggledIntoCoreStillFails: the server exemptions must
 // not widen the net — a time.Now smuggled into internal/core (hidden
 // in a closure, goroutine, whatever) still fails the analyzer.
