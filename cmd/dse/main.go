@@ -19,6 +19,7 @@
 //
 //	dse -campaign configs/campaign-default.json -dir state -workers 8
 //	dse -campaign spec.json -dir state -resume -csv frontier.csv
+//	dse -campaign spec.json -dir state -store stores/   # per-stage columnar outcome stores
 //	dse -tdp 0.25,0.35,0.5 -interval 20ms,50ms,100ms -horizon 300ms -seeds 2
 package main
 
@@ -73,6 +74,7 @@ func run(args []string) error {
 	horizon := fs.Duration("horizon", 300*time.Millisecond, "simulated horizon per point (sweep mode)")
 	seeds := fs.Int("seeds", 2, "replications per point (sweep mode)")
 	csvPath := fs.String("csv", "", "write the frontier (or sweep) as CSV")
+	storeDir := fs.String("store", "", "campaign mode: write per-stage columnar result stores under this root (query with cmd/results)")
 	shards := fs.Int("shards", 0, "epoch-integrator shards per simulation (0 = serial; results are identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +90,7 @@ func run(args []string) error {
 			workers:          *workers,
 			shards:           *shards,
 			csvPath:          *csvPath,
+			storeDir:         *storeDir,
 			quarantineReport: *quarantineReport,
 			statusFile:       *statusFile,
 			cellTimeout:      *cellTimeout,
@@ -110,6 +113,7 @@ type campaignOptions struct {
 	workers          int
 	shards           int
 	csvPath          string
+	storeDir         string
 	quarantineReport string
 	statusFile       string
 	cellTimeout      time.Duration
@@ -146,6 +150,7 @@ func runCampaign(o campaignOptions) error {
 		Chaos:        chaos,
 		Stderr:       os.Stderr,
 		StatusPath:   o.statusFile,
+		StoreDir:     o.storeDir,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -861,6 +861,10 @@ func (s *System) pumpFlitNet(now sim.Time) {
 			cr.testStallUntil = at
 		}
 	}
+	// Everything consumed above is dead to the system (only pkt.ID and
+	// DeliveredAt were read): recycle the structs so long co-simulations
+	// run in bounded memory and later injects are alloc-free.
+	s.flitNet.ReleaseDelivered(len(delivered))
 }
 
 // advance integrates tasks, tests, power, heat and aging over (now-dt,now].

@@ -63,6 +63,14 @@ type Engine struct {
 	// the CI smoke only).
 	Chaos *expt.Chaos
 
+	// StoreDir, when non-empty, receives one columnar result store per
+	// stage (StoreDir/screen, StoreDir/full — see internal/results)
+	// holding every cell's outcome, quarantined gaps included. Each
+	// stage's store is rewritten whole when the stage completes, so it
+	// is resume-safe by construction; the journals in Dir remain the
+	// system of record for partial progress.
+	StoreDir string
+
 	// Stderr receives progress lines (nil: discarded). StatusPath, when
 	// non-empty, is atomically rewritten with a Status JSON document on
 	// the same cadence.
@@ -279,7 +287,8 @@ func (e *Engine) runStage(ctx context.Context, space *Space, fp, stage string, h
 		n = len(indexes)
 	}
 	path := filepath.Join(e.Dir, stage+".journal")
-	j, cached, err := batch.OpenJournal(path, e.stageMeta(fp, stage, horizon, n, indexes))
+	meta := e.stageMeta(fp, stage, horizon, n, indexes)
+	j, cached, err := batch.OpenJournal(path, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -331,6 +340,11 @@ func (e *Engine) runStage(ctx context.Context, space *Space, fp, stage string, h
 		})
 	if err != nil {
 		return nil, fmt.Errorf("dse: campaign stage %s: %w", stage, err)
+	}
+	if e.StoreDir != "" {
+		if err := e.writeStageStore(space, stage, meta, indexes, outcomes); err != nil {
+			return nil, fmt.Errorf("dse: stage %s result store: %w", stage, err)
+		}
 	}
 	e.report(n, n, true)
 	return outcomes, nil

@@ -1,0 +1,34 @@
+package expt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"path/filepath"
+	"strings"
+
+	"potsim/internal/results"
+)
+
+// StorePath is the columnar result-store directory for one experiment
+// under a store root: one store per experiment, named like the CSV
+// files ("e1", "e2", ...).
+func StorePath(root, id string) string {
+	return filepath.Join(root, strings.ToLower(id))
+}
+
+// SaveStore writes res.Table into StorePath(root, res.ID) as a
+// columnar result store (see internal/results). The segment meta
+// carries the experiment id, title and a content hash of the rendered
+// table, so a store is keyed to exactly the result it holds; the CSV
+// export of the store is byte-identical to res.Table.CSV().
+func SaveStore(root string, res *Result) error {
+	if res == nil || res.Table == nil {
+		return nil
+	}
+	sum := sha256.Sum256([]byte(res.Table.CSV()))
+	meta := map[string]string{
+		results.MetaID: res.ID,
+		"table-sha256": hex.EncodeToString(sum[:]),
+	}
+	return results.WriteTable(StorePath(root, res.ID), res.Table, meta)
+}

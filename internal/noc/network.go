@@ -109,9 +109,21 @@ type Network struct {
 	routers []*router
 	cycle   int64
 
-	packets   map[int]*Packet
+	inflight  int
 	delivered []*Packet
+	delivBase int // absolute delivery index of delivered[0]
 	nextID    int
+
+	// free recycles Packet structs released via ReleaseDelivered, so a
+	// steady-state co-simulation injects without allocating.
+	free []*Packet
+
+	// Streaming aggregates over released packets: Summarise stays exact
+	// for count/mean/max even after their structs are recycled.
+	relCount  int64
+	relLatSum int64
+	relHopSum int64
+	relMaxLat int64
 
 	flitsMoved   int64
 	flitsEjected int64
@@ -130,10 +142,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{
-		cfg:     cfg,
-		packets: make(map[int]*Packet),
-	}
+	n := &Network{cfg: cfg}
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
 			r := &router{at: Coord{x, y}}
@@ -183,17 +192,26 @@ func (n *Network) Inject(src, dst Coord, sizeFlits int) (*Packet, error) {
 	if sizeFlits < 1 {
 		return nil, fmt.Errorf("noc: packet needs at least one flit")
 	}
-	pkt := &Packet{
+	var pkt *Packet
+	if k := len(n.free); k > 0 {
+		pkt = n.free[k-1]
+		n.free = n.free[:k-1]
+	} else {
+		pkt = new(Packet)
+	}
+	// Full overwrite: a recycled struct carries no trace of its past life.
+	*pkt = Packet{
 		ID: n.nextID, Src: src, Dst: dst, SizeFlits: sizeFlits,
 		InjectedAt: n.cycle, DeliveredAt: -1,
 	}
 	n.nextID++
-	n.packets[pkt.ID] = pkt
+	n.inflight++
 	r := n.routerAt(src)
 	for i := 0; i < sizeFlits; i++ {
 		r.in[Local][0].push(Flit{
 			PacketID: pkt.ID, Src: src, Dst: dst, Seq: i,
 			IsHead: i == 0, IsTail: i == sizeFlits-1,
+			pkt: pkt,
 		})
 	}
 	r.buffered += sizeFlits
@@ -339,10 +357,10 @@ func (n *Network) Step() {
 			// Ejection at destination.
 			n.flitsEjected++
 			if f.IsTail {
-				pkt := n.packets[f.PacketID]
+				pkt := f.pkt
 				pkt.DeliveredAt = n.cycle + 1 // tail leaves at end of cycle
 				n.delivered = append(n.delivered, pkt)
-				delete(n.packets, f.PacketID)
+				n.inflight--
 			}
 		} else {
 			m.to.in[m.toPort][m.toVC].push(f)
@@ -469,19 +487,50 @@ func (n *Network) Run(cycles int64) {
 // elapse; it reports whether the network drained.
 func (n *Network) RunUntilDrained(maxCycles int64) bool {
 	for i := int64(0); i < maxCycles; i++ {
-		if len(n.packets) == 0 {
+		if n.inflight == 0 {
 			return true
 		}
 		n.Step()
 	}
-	return len(n.packets) == 0
+	return n.inflight == 0
 }
 
 // InFlight returns the number of undelivered packets.
-func (n *Network) InFlight() int { return len(n.packets) }
+func (n *Network) InFlight() int { return n.inflight }
 
-// Delivered returns all delivered packets (shared slice; do not modify).
+// Delivered returns the delivered packets still retained (shared slice;
+// do not modify). Packets handed back via ReleaseDelivered are absent.
 func (n *Network) Delivered() []*Packet { return n.delivered }
+
+// ReleaseDelivered recycles the oldest k delivered packets: their
+// latency and hop counts fold into the streaming aggregates Summarise
+// reports, and their structs return to the injection freelist. A
+// consumer that drains deliveries incrementally (DeliveredSince) calls
+// this after processing a batch, making unbounded co-simulations run
+// in bounded memory with alloc-free injection. Released packets must
+// no longer be dereferenced — the structs are overwritten by later
+// Injects.
+func (n *Network) ReleaseDelivered(k int) {
+	if k > len(n.delivered) {
+		k = len(n.delivered)
+	}
+	if k <= 0 {
+		return
+	}
+	for _, p := range n.delivered[:k] {
+		l := p.Latency()
+		n.relCount++
+		n.relLatSum += l
+		n.relHopSum += int64(n.cfg.Hops(p.Src, p.Dst))
+		if l > n.relMaxLat {
+			n.relMaxLat = l
+		}
+		n.free = append(n.free, p)
+	}
+	rest := copy(n.delivered, n.delivered[k:])
+	n.delivered = n.delivered[:rest]
+	n.delivBase += k
+}
 
 // Stats summarises delivered traffic.
 type Stats struct {
@@ -496,16 +545,23 @@ type Stats struct {
 	ThroughputFPC float64
 }
 
-// Summarise computes delivery statistics over the run so far.
+// Summarise computes delivery statistics over the run so far. Counts,
+// means and the maximum are exact even when packets have been handed
+// back via ReleaseDelivered (their contributions stream into running
+// aggregates); P95Latency is computed over the retained packets only,
+// so standalone studies that want an exact percentile (RunLoadPoint)
+// simply never release.
 func (n *Network) Summarise() Stats {
 	var s Stats
 	s.FlitsMoved = n.flitsMoved
 	s.FlitsEjected = n.flitsEjected
-	if len(n.delivered) == 0 {
+	total := n.relCount + int64(len(n.delivered))
+	if total == 0 {
 		return s
 	}
 	lat := make([]int64, 0, len(n.delivered))
-	var latSum, hopSum int64
+	latSum, hopSum := n.relLatSum, n.relHopSum
+	s.MaxLatency = n.relMaxLat
 	for _, p := range n.delivered {
 		l := p.Latency()
 		lat = append(lat, l)
@@ -515,14 +571,16 @@ func (n *Network) Summarise() Stats {
 			s.MaxLatency = l
 		}
 	}
-	s.Delivered = len(n.delivered)
-	s.MeanLatency = float64(latSum) / float64(s.Delivered)
-	s.MeanHops = float64(hopSum) / float64(s.Delivered)
-	// nth percentile without sorting the caller's data.
-	sorted := make([]int64, len(lat))
-	copy(sorted, lat)
-	insertionSort(sorted)
-	s.P95Latency = sorted[(len(sorted)*95)/100]
+	s.Delivered = int(total)
+	s.MeanLatency = float64(latSum) / float64(total)
+	s.MeanHops = float64(hopSum) / float64(total)
+	if len(lat) > 0 {
+		// nth percentile without sorting the caller's data.
+		sorted := make([]int64, len(lat))
+		copy(sorted, lat)
+		insertionSort(sorted)
+		s.P95Latency = sorted[(len(sorted)*95)/100]
+	}
 	if n.cycle > 0 {
 		nodes := float64(n.cfg.Width * n.cfg.Height)
 		s.ThroughputFPC = float64(n.flitsEjected) / float64(n.cycle) / nodes
@@ -600,7 +658,7 @@ func (n *Network) MeanLinkUtilization() float64 {
 // coarser-grained system clock).
 func (n *Network) AdvanceTo(cycle int64) {
 	for n.cycle < cycle {
-		if len(n.packets) == 0 {
+		if n.inflight == 0 {
 			n.cycle = cycle
 			return
 		}
@@ -608,17 +666,20 @@ func (n *Network) AdvanceTo(cycle int64) {
 	}
 }
 
-// DeliveredSince returns packets delivered at or after index cursor in
-// delivery order, for incremental consumption; pass len of the previous
-// result plus the previous cursor as the next cursor.
+// DeliveredSince returns packets delivered at or after absolute
+// delivery index cursor, for incremental consumption; pass len of the
+// previous result plus the previous cursor as the next cursor. The
+// cursor survives ReleaseDelivered: releasing already-consumed
+// packets never shifts what an up-to-date consumer sees next.
 func (n *Network) DeliveredSince(cursor int) []*Packet {
-	if cursor < 0 {
-		cursor = 0
+	rel := cursor - n.delivBase
+	if rel < 0 {
+		rel = 0 // those packets were released; the consumer saw them already
 	}
-	if cursor >= len(n.delivered) {
+	if rel >= len(n.delivered) {
 		return nil
 	}
-	return n.delivered[cursor:]
+	return n.delivered[rel:]
 }
 
 // routeTorusXY is dimension-ordered routing on the torus: each dimension

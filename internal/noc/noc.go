@@ -194,6 +194,10 @@ type Flit struct {
 	Seq      int  // position within the packet
 	IsHead   bool // head flit carries the route
 	IsTail   bool
+	// pkt is the tracking record, carried by the flit so tail ejection
+	// settles the packet without a map lookup (and without the bucket
+	// churn an insert/delete-cycled map allocates under).
+	pkt *Packet
 }
 
 // Packet records one message through its lifetime.

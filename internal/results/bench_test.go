@@ -1,0 +1,209 @@
+package results
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"potsim/internal/metrics"
+	"potsim/internal/sim"
+)
+
+// benchSchema mirrors a campaign outcome row: a coordinate, a
+// low-cardinality label and two measured floats.
+var benchSchema = Schema{
+	{Name: "cell", Kind: Int64},
+	{Name: "policy", Kind: String},
+	{Name: "penalty", Kind: Float64},
+	{Name: "temp", Kind: Float64},
+}
+
+var benchPolicies = [...]string{"pots", "naive", "tep", "notest"}
+
+func benchRow(row []Value, i int64, u1, u2 float64) {
+	row[0] = IntVal(i)
+	row[1] = StrVal(benchPolicies[i%4])
+	row[2] = FloatVal(u1 * 25)
+	row[3] = FloatVal(310 + u2*60)
+}
+
+// BenchmarkResultsAppend prices one-row ingest, per row. The store
+// sub-bench is the gated number: columnar Append with batched
+// encode+fsync (one WriteFileAtomic per DefaultBatchRows rows). The
+// csv-baseline sub-bench writes the same rows through encoding/csv to
+// a buffered file — the ingest path the store replaced; the ratio is
+// the headline speedup and should stay around an order of magnitude.
+func BenchmarkResultsAppend(b *testing.B) {
+	b.Run("store", func(b *testing.B) {
+		st, err := Replace(b.TempDir(), benchSchema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ap, err := st.NewAppender(0, map[string]string{"id": "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := sim.NewRNG(1).Stream("bench-append")
+		row := make([]Value, len(benchSchema))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchRow(row, int64(i), rng.Float64(), rng.Float64())
+			if err := ap.Append(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ap.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	// csv-baseline is the ingest path the store replaced: rows
+	// accumulate in a metrics.Table (boxed []any cells) and the whole
+	// table renders to CSV and lands on disk at the end. The render
+	// and write are O(rows), so including them after the loop
+	// amortises them correctly per row.
+	b.Run("csv-baseline", func(b *testing.B) {
+		t := metrics.NewTable("bench", "cell", "policy", "penalty", "temp")
+		rng := sim.NewRNG(1).Stream("bench-append")
+		path := filepath.Join(b.TempDir(), "bench.csv")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.AddRow(int64(i), benchPolicies[i%4], rng.Float64()*25, 310+rng.Float64()*60)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.WriteString(t.CSV()); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	// csv-writer-baseline strips the table out of the ingest: rows go
+	// straight through encoding/csv into a buffered file. Even this
+	// lean path loses to the store on formatting cost alone.
+	b.Run("csv-writer-baseline", func(b *testing.B) {
+		f, err := os.Create(filepath.Join(b.TempDir(), "bench.csv"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"cell", "policy", "penalty", "temp"}); err != nil {
+			b.Fatal(err)
+		}
+		rng := sim.NewRNG(1).Stream("bench-append")
+		rec := make([]string, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec[0] = strconv.FormatInt(int64(i), 10)
+			rec[1] = benchPolicies[i%4]
+			rec[2] = strconv.FormatFloat(rng.Float64()*25, 'g', -1, 64)
+			rec[3] = strconv.FormatFloat(310+rng.Float64()*60, 'g', -1, 64)
+			if err := w.Write(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		w.Flush()
+		if err := f.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+const benchQueryRows = 1_000_000
+
+// benchQueryStore lazily builds (once per test binary) a million-row
+// store in a shared temp dir for the query benchmarks.
+func benchQueryStore(b *testing.B) *Store {
+	b.Helper()
+	dir := filepath.Join(os.TempDir(), "potsim-results-bench-1m")
+	if st, err := Open(dir, benchSchema); err == nil && st.Rows() == benchQueryRows {
+		return st
+	}
+	st, err := Replace(dir, benchSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ap, err := st.NewAppender(0, map[string]string{"id": "bench-query"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(7).Stream("bench-query")
+	row := make([]Value, len(benchSchema))
+	for i := int64(0); i < benchQueryRows; i++ {
+		benchRow(row, i, rng.Float64(), rng.Float64())
+		if err := ap.Append(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ap.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkResultsQuery is the gated streaming-query number: a
+// group-by with count, mean and three P-squared percentiles over a
+// million-row store, one full pass per iteration in constant memory.
+// The acceptance target is sub-second per pass.
+func BenchmarkResultsQuery(b *testing.B) {
+	st := benchQueryStore(b)
+	q := Query{
+		GroupBy: []string{"policy"},
+		Aggs: []Agg{
+			{Op: "count"},
+			{Op: "mean", Col: "penalty"},
+			{Op: "p50", Col: "penalty"},
+			{Op: "p95", Col: "penalty"},
+			{Op: "p99", Col: "temp"},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.RunQuery(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != len(benchPolicies) {
+			b.Fatalf("query returned %d groups, want %d", len(res.Rows), len(benchPolicies))
+		}
+	}
+	b.ReportMetric(float64(b.N)*benchQueryRows/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkResultsScan prices the raw verified scan underneath every
+// query: checksum, decode and iterate a million rows.
+func BenchmarkResultsScan(b *testing.B) {
+	st := benchQueryStore(b)
+	ci := benchSchema.Col("cell")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := st.Scan()
+		var sum int64
+		for sc.Next() {
+			sum += sc.Int(ci)
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if sum == 0 {
+			b.Fatal("scan summed to zero")
+		}
+	}
+	b.ReportMetric(float64(b.N)*benchQueryRows/b.Elapsed().Seconds(), "rows/s")
+}

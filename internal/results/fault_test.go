@@ -1,0 +1,277 @@
+package results
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSegmentBlob writes a small store and returns the raw bytes of
+// its single segment plus the path it lives at.
+func buildSegmentBlob(t *testing.T) ([]byte, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := Open(dir, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := st.NewAppender(0, map[string]string{"suite": "fault"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRows(t, a, 37, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, segPattern))
+	if len(names) != 1 {
+		t.Fatalf("segments = %v", names)
+	}
+	blob, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, names[0]
+}
+
+// isTypedErr reports whether err is one of the package's sentinel
+// errors — the contract for every rejected segment.
+func isTypedErr(err error) bool {
+	return errors.Is(err, ErrNotSegment) || errors.Is(err, ErrCorrupt) ||
+		errors.Is(err, ErrVersion) || errors.Is(err, ErrSchema)
+}
+
+func TestDecodeRejectsTornTail(t *testing.T) {
+	blob, _ := buildSegmentBlob(t)
+	// Every proper prefix is a torn write; none may decode, and none
+	// may pass as a shorter-but-valid segment.
+	for _, cut := range []int{0, 1, 7, 8, len(headerMagic) + 3, len(blob) / 2, len(blob) - trailerLen, len(blob) - 9, len(blob) - 1} {
+		_, err := decodeSegment(blob[:cut], nil)
+		if err == nil {
+			t.Fatalf("torn tail at %d/%d bytes decoded successfully", cut, len(blob))
+		}
+		if !isTypedErr(err) {
+			t.Fatalf("torn tail at %d: untyped error %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedFooter(t *testing.T) {
+	blob, _ := buildSegmentBlob(t)
+	// Rebuild a file whose trailer claims a footer longer than the
+	// file: framing must fail before any JSON is parsed.
+	mut := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(mut[len(mut)-trailerLen:], uint64(len(mut)))
+	if _, err := decodeSegment(mut, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized footer length: err = %v, want ErrCorrupt", err)
+	}
+	// A footer length pointing into the header region is equally bad.
+	binary.LittleEndian.PutUint64(mut[len(mut)-trailerLen:], uint64(len(mut)-trailerLen-2))
+	if _, err := decodeSegment(mut, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("footer overlapping header: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsEveryBitFlip(t *testing.T) {
+	blob, _ := buildSegmentBlob(t)
+	// Flip one bit per byte across the whole file. The checksums cover
+	// every region (header magic, blocks, footer, trailer), so every
+	// flip must surface as a typed error — a flip that silently decodes
+	// would mean a region escapes verification.
+	mut := make([]byte, len(blob))
+	for pos := 0; pos < len(blob); pos++ {
+		copy(mut, blob)
+		mut[pos] ^= 0x10
+		if _, err := decodeSegment(mut, nil); err == nil {
+			t.Fatalf("bit flip at byte %d/%d decoded successfully", pos, len(blob))
+		} else if !isTypedErr(err) {
+			t.Fatalf("bit flip at byte %d: untyped error %v", pos, err)
+		}
+	}
+}
+
+// reframe splices a mutated footer into a segment blob, recomputing
+// the trailer so only the mutation under test is visible.
+func reframe(t *testing.T, blob []byte, edit func(footer []byte) []byte) []byte {
+	t.Helper()
+	trailer := blob[len(blob)-trailerLen:]
+	footerLen := int(binary.LittleEndian.Uint64(trailer[:8]))
+	dataEnd := len(blob) - trailerLen - footerLen
+	footer := edit(append([]byte(nil), blob[dataEnd:len(blob)-trailerLen]...))
+	out := append([]byte(nil), blob[:dataEnd]...)
+	out = append(out, footer...)
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint64(tr[:8], uint64(len(footer)))
+	sum := sha256.Sum256(footer)
+	copy(tr[8:], sum[:])
+	copy(tr[8+len(sum):], trailerMagic)
+	return append(out, tr[:]...)
+}
+
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	blob, _ := buildSegmentBlob(t)
+	mut := reframe(t, blob, func(f []byte) []byte {
+		return bytes.Replace(f, []byte(`"version":1`), []byte(`"version":9`), 1)
+	})
+	if _, err := decodeSegment(mut, nil); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version skew: err = %v, want ErrVersion", err)
+	}
+	// Same contract through the cheap footer path Open uses.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-00000001.seg")
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); !errors.Is(err, ErrVersion) {
+		t.Fatalf("Open on version skew: err = %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsForeignKind(t *testing.T) {
+	blob, _ := buildSegmentBlob(t)
+	mut := reframe(t, blob, func(f []byte) []byte {
+		return bytes.Replace(f, []byte(footerKind), []byte("potsim-rogue-payload-xx"), 1)
+	})
+	if _, err := decodeSegment(mut, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("foreign kind: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsForeignFile(t *testing.T) {
+	for _, blob := range [][]byte{
+		nil,
+		[]byte("interarrival,core-util\n8,0.5\n"),
+		[]byte(`{"magic":"potsim-checkpoint","kind":"x","version":1}`),
+		bytes.Repeat([]byte{0}, 500),
+	} {
+		if _, err := decodeSegment(blob, nil); !errors.Is(err, ErrNotSegment) {
+			t.Fatalf("foreign blob %.20q: err = %v, want ErrNotSegment", blob, err)
+		}
+	}
+}
+
+func TestScanSurfacesMidStoreCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir, testSchema())
+	a, _ := st.NewAppender(10, nil)
+	fillRows(t, a, 30, 0) // three segments
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a column byte in the middle segment, on disk, after Open
+	// already validated footers: the scan's full checksum pass must
+	// catch it, and the query must refuse to aggregate past it.
+	path := filepath.Join(dir, "seg-00000002.seg")
+	blob, _ := os.ReadFile(path)
+	blob[len(headerMagic)+2] ^= 0x01
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc := st.Scan()
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	if !errors.Is(sc.Err(), ErrCorrupt) {
+		t.Fatalf("scan err = %v, want ErrCorrupt", sc.Err())
+	}
+	if n != 10 {
+		t.Fatalf("scan yielded %d rows before the corrupt segment, want 10", n)
+	}
+	if _, err := st.RunQuery(Query{Aggs: []Agg{{Op: "count"}}}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("query err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenCleansCrashDroppings(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir, testSchema())
+	a, _ := st.NewAppender(10, nil)
+	fillRows(t, a, 20, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A SIGKILL between temp write and rename leaves a ".tmp" dropping;
+	// Open must remove it and serve exactly the flushed rows.
+	tmp := filepath.Join(dir, "seg-00000003.seg.tmp123456")
+	if err := os.WriteFile(tmp, []byte("half a segm"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Rows() != 20 {
+		t.Fatalf("rows after crash reopen = %d, want 20", st2.Rows())
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp dropping survived reopen: %v", err)
+	}
+	verifyRows(t, st2, 20)
+}
+
+func FuzzSegmentDecode(f *testing.F) {
+	dir := f.TempDir()
+	st, err := Open(dir, testSchema())
+	if err != nil {
+		f.Fatal(err)
+	}
+	a, _ := st.NewAppender(0, map[string]string{"suite": "fuzz"})
+	row := make([]Value, 3)
+	for i := 0; i < 25; i++ {
+		row[0], row[1], row[2] = IntVal(int64(i*i)), StrVal("p"), FloatVal(float64(i)/3)
+		if err := a.Append(row); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		f.Fatal(err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, segPattern))
+	valid, _ := os.ReadFile(names[0])
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(headerMagic))
+	f.Add([]byte(trailerMagic))
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/3] ^= 0xff
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		// The decoder must never panic, and anything it accepts must be
+		// internally consistent: every column sized exactly to the row
+		// count, string indexes inside their dictionary.
+		sd, err := decodeSegment(blob, nil)
+		if err != nil {
+			if !isTypedErr(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		for i := range sd.Cols {
+			c := &sd.Cols[i]
+			switch c.Kind {
+			case Int64:
+				if len(c.Ints) != sd.Rows {
+					t.Fatalf("int column %d: %d values, %d rows", i, len(c.Ints), sd.Rows)
+				}
+			case Float64:
+				if len(c.Floats) != sd.Rows {
+					t.Fatalf("float column %d: %d values, %d rows", i, len(c.Floats), sd.Rows)
+				}
+			case String:
+				if len(c.StrIdx) != sd.Rows {
+					t.Fatalf("string column %d: %d values, %d rows", i, len(c.StrIdx), sd.Rows)
+				}
+				for _, ix := range c.StrIdx {
+					if int(ix) >= len(c.Dict) {
+						t.Fatalf("string column %d: index %d outside dict of %d", i, ix, len(c.Dict))
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package results
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile estimates a single quantile over a stream in constant
+// memory. Small streams are kept exactly: up to quantileExactN samples
+// are buffered and answered by nearest-rank (matching
+// metrics.Percentile). Past that the estimator switches to the P²
+// algorithm (Jain & Chlamtac 1985): five markers whose heights track
+// the quantile curve and whose positions are nudged toward ideal
+// ranks with parabolic interpolation. State is five floats per marker
+// set regardless of stream length; accuracy on smooth distributions is
+// well under a percent (see TestQuantileAccuracyMillion).
+type Quantile struct {
+	q     float64 // target quantile in (0,1)
+	n     int
+	exact []float64  // first quantileExactN samples, unsorted
+	pos   [5]float64 // marker positions (1-based ranks)
+	want  [5]float64 // desired marker positions
+	dWant [5]float64 // desired position increments per observation
+	h     [5]float64 // marker heights
+	live  bool       // P² markers initialized
+}
+
+const quantileExactN = 64
+
+// NewQuantile creates an estimator for quantile q in (0,1), e.g. 0.95.
+func NewQuantile(q float64) *Quantile {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return &Quantile{q: q, exact: make([]float64, 0, quantileExactN)}
+}
+
+// Add folds one observation in.
+func (e *Quantile) Add(x float64) {
+	e.n++
+	if !e.live {
+		if len(e.exact) < quantileExactN {
+			e.exact = append(e.exact, x)
+			return
+		}
+		// 65th observation: seed the P² markers from the exact buffer,
+		// then fall through to stream this sample.
+		e.initMarkers()
+	}
+	e.step(x)
+}
+
+// N returns the number of observations.
+func (e *Quantile) N() int { return e.n }
+
+// initMarkers seeds the five P² markers from the exact buffer: heights
+// at the buffer's own {0, q/2, q, (1+q)/2, 1} quantiles, positions at
+// the matching ranks.
+func (e *Quantile) initMarkers() {
+	s := make([]float64, len(e.exact))
+	copy(s, e.exact)
+	sort.Float64s(s)
+	n := float64(len(s))
+	qs := [5]float64{0, e.q / 2, e.q, (1 + e.q) / 2, 1}
+	for i, qi := range qs {
+		rank := int(qi*(n-1) + 0.5)
+		e.h[i] = s[rank]
+		e.pos[i] = float64(rank + 1)
+		e.want[i] = 1 + qi*(n-1)
+		e.dWant[i] = qi
+	}
+	// Endpoints must be the true extremes for the clamp logic below.
+	e.h[0], e.h[4] = s[0], s[len(s)-1]
+	e.pos[0], e.pos[4] = 1, n
+	e.live = true
+}
+
+// step is one P² update.
+func (e *Quantile) step(x float64) {
+	// Locate the cell containing x and update the extremes.
+	var k int
+	switch {
+	case x < e.h[0]:
+		e.h[0] = x
+		k = 0
+	case x >= e.h[4]:
+		e.h[4] = x
+		k = 3
+	default:
+		k = 3
+		for i := 1; i < 5; i++ {
+			if x < e.h[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.dWant[i]
+	}
+	// Nudge interior markers toward their desired positions.
+	for i := 1; i < 4; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			dir := 1.0
+			if d < 0 {
+				dir = -1
+			}
+			h := e.parabolic(i, dir)
+			if e.h[i-1] < h && h < e.h[i+1] {
+				e.h[i] = h
+			} else {
+				e.h[i] = e.linear(i, dir)
+			}
+			e.pos[i] += dir
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (e *Quantile) parabolic(i int, d float64) float64 {
+	return e.h[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.h[i+1]-e.h[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.h[i]-e.h[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola escapes
+// the bracketing markers.
+func (e *Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.h[i] + d*(e.h[j]-e.h[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate (exact nearest-rank for
+// streams up to quantileExactN samples; 0 with no data).
+func (e *Quantile) Value() float64 {
+	if !e.live {
+		if len(e.exact) == 0 {
+			return 0
+		}
+		s := make([]float64, len(e.exact))
+		copy(s, e.exact)
+		sort.Float64s(s)
+		rank := int(math.Ceil(e.q*float64(len(s)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(s) {
+			rank = len(s) - 1
+		}
+		return s[rank]
+	}
+	return e.h[2]
+}

@@ -1,0 +1,438 @@
+package results
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Scanner is an ordered scan over every row in the store: segments in
+// append order, rows in append order within each segment. One segment
+// is decoded and verified at a time, so memory is bounded by the batch
+// size the writer used, not by the store size.
+type Scanner struct {
+	st  *Store
+	seg int
+	sd  *segmentData
+	row int
+	err error
+}
+
+// Scan starts an ordered scan.
+func (st *Store) Scan() *Scanner { return &Scanner{st: st, seg: -1} }
+
+// Next advances to the next row, loading (and fully verifying) the
+// next segment as needed. It returns false at the end of the store or
+// on error; check Err afterwards.
+func (sc *Scanner) Next() bool {
+	if sc.err != nil {
+		return false
+	}
+	for {
+		if sc.sd != nil && sc.row+1 < sc.sd.Rows {
+			sc.row++
+			return true
+		}
+		sc.seg++
+		if sc.seg >= len(sc.st.segs) {
+			return false
+		}
+		sd, err := readSegmentFile(sc.st.segs[sc.seg].path, sc.st.schema)
+		if err != nil {
+			sc.err = err
+			return false
+		}
+		sc.sd = sd
+		sc.row = -1
+	}
+}
+
+// Err returns the first error the scan hit (a typed corruption error,
+// or an I/O error), if any.
+func (sc *Scanner) Err() error { return sc.err }
+
+// Int returns the current row's value in Int64 column col.
+func (sc *Scanner) Int(col int) int64 { return sc.sd.Cols[col].Ints[sc.row] }
+
+// Float returns the current row's value in Float64 column col.
+func (sc *Scanner) Float(col int) float64 { return sc.sd.Cols[col].Floats[sc.row] }
+
+// Str returns the current row's value in String column col. The
+// string is shared with the segment's dictionary — no allocation.
+func (sc *Scanner) Str(col int) string {
+	c := &sc.sd.Cols[col]
+	return c.Dict[c.StrIdx[sc.row]]
+}
+
+// Value returns the current row's cell in column col, kind-tagged.
+func (sc *Scanner) Value(col int) Value {
+	c := &sc.sd.Cols[col]
+	switch c.Kind {
+	case Int64:
+		return Value{Kind: Int64, Int: c.Ints[sc.row]}
+	case Float64:
+		return Value{Kind: Float64, F: c.Floats[sc.row]}
+	default:
+		return Value{Kind: String, Str: c.Dict[c.StrIdx[sc.row]]}
+	}
+}
+
+// Meta returns the footer meta of the segment holding the current row.
+func (sc *Scanner) Meta() map[string]string { return sc.sd.Meta }
+
+// CmpOp is a filter comparison operator.
+type CmpOp uint8
+
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// ParseCmpOp parses the usual spellings ("==", "!=", "<", "<=", ">",
+// ">=").
+func ParseCmpOp(s string) (CmpOp, error) {
+	switch s {
+	case "==", "=":
+		return Eq, nil
+	case "!=":
+		return Ne, nil
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	}
+	return 0, fmt.Errorf("results: unknown comparison %q", s)
+}
+
+// Filter keeps rows where column Col compares true against Val.
+// Numeric columns compare numerically (an Int64 value against a
+// Float64 column compares in the float domain and vice versa); string
+// columns compare lexicographically and only against string values.
+type Filter struct {
+	Col string
+	Op  CmpOp
+	Val Value
+}
+
+// Agg is one aggregate: Op is "count", "sum", "mean", "min", "max" or
+// a percentile like "p95" / "p99.9". Col may be empty for "count".
+// Numeric aggregates accept Int64 and Float64 columns and compute in
+// the float64 domain.
+type Agg struct {
+	Op  string
+	Col string
+}
+
+// Query is a streaming aggregation: filter rows, group by zero or
+// more columns, fold the aggregates. It runs in one ordered pass with
+// state proportional to the number of distinct groups — never to the
+// number of rows (percentiles use constant-memory P² estimators, see
+// Quantile).
+type Query struct {
+	Filters []Filter
+	GroupBy []string
+	Aggs    []Agg
+}
+
+// QueryResult holds the aggregated rows, one per group, sorted by the
+// group-by values (deterministic regardless of scan interleaving).
+type QueryResult struct {
+	Headers []string
+	Rows    [][]Value
+}
+
+type compiledFilter struct {
+	col int
+	op  CmpOp
+	val Value
+}
+
+type compiledAgg struct {
+	col  int     // -1 for bare count
+	q    float64 // percentile target, NaN otherwise
+	op   string
+	name string
+}
+
+type aggState struct {
+	count    int64
+	sum      float64
+	min, max float64
+	quant    *Quantile
+}
+
+type group struct {
+	key  []Value
+	aggs []aggState
+}
+
+// RunQuery executes q against the store.
+func (st *Store) RunQuery(q Query) (*QueryResult, error) {
+	if st.schema == nil {
+		return &QueryResult{}, nil
+	}
+	filters := make([]compiledFilter, len(q.Filters))
+	for i, f := range q.Filters {
+		c := st.schema.Col(f.Col)
+		if c < 0 {
+			return nil, fmt.Errorf("results: filter column %q not in schema", f.Col)
+		}
+		kind := st.schema[c].Kind
+		if (kind == String) != (f.Val.Kind == String) {
+			return nil, fmt.Errorf("results: filter on %q compares %v column against %v value",
+				f.Col, kind, f.Val.Kind)
+		}
+		filters[i] = compiledFilter{col: c, op: f.Op, val: f.Val}
+	}
+	groupCols := make([]int, len(q.GroupBy))
+	for i, name := range q.GroupBy {
+		c := st.schema.Col(name)
+		if c < 0 {
+			return nil, fmt.Errorf("results: group-by column %q not in schema", name)
+		}
+		groupCols[i] = c
+	}
+	aggs := make([]compiledAgg, len(q.Aggs))
+	for i, a := range q.Aggs {
+		ca, err := compileAgg(st.schema, a)
+		if err != nil {
+			return nil, err
+		}
+		aggs[i] = ca
+	}
+
+	groups := make(map[string]*group)
+	var keyBuf []byte
+	sc := st.Scan()
+rows:
+	for sc.Next() {
+		for _, f := range filters {
+			ok, err := evalFilter(sc, f)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue rows
+			}
+		}
+		keyBuf = keyBuf[:0]
+		for _, c := range groupCols {
+			keyBuf = appendKey(keyBuf, sc.Value(c))
+		}
+		g := groups[string(keyBuf)]
+		if g == nil {
+			g = &group{key: make([]Value, len(groupCols)), aggs: make([]aggState, len(aggs))}
+			for i, c := range groupCols {
+				g.key[i] = sc.Value(c)
+			}
+			for i := range aggs {
+				if !math.IsNaN(aggs[i].q) {
+					g.aggs[i].quant = NewQuantile(aggs[i].q)
+				}
+			}
+			groups[string(keyBuf)] = g
+		}
+		for i := range aggs {
+			foldAgg(&g.aggs[i], &aggs[i], sc)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessValues(out[i].key, out[j].key) })
+
+	res := &QueryResult{}
+	res.Headers = append(res.Headers, q.GroupBy...)
+	for _, a := range aggs {
+		res.Headers = append(res.Headers, a.name)
+	}
+	for _, g := range out {
+		row := make([]Value, 0, len(g.key)+len(aggs))
+		row = append(row, g.key...)
+		for i := range aggs {
+			row = append(row, finishAgg(&g.aggs[i], &aggs[i]))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func compileAgg(schema Schema, a Agg) (compiledAgg, error) {
+	ca := compiledAgg{col: -1, q: math.NaN(), op: a.Op}
+	if a.Op == "count" && a.Col == "" {
+		ca.name = "count"
+		return ca, nil
+	}
+	c := schema.Col(a.Col)
+	if c < 0 {
+		return ca, fmt.Errorf("results: aggregate column %q not in schema", a.Col)
+	}
+	ca.col = c
+	ca.name = a.Op + "(" + a.Col + ")"
+	switch a.Op {
+	case "count":
+		return ca, nil
+	case "sum", "mean", "min", "max":
+	default:
+		if len(a.Op) < 2 || a.Op[0] != 'p' {
+			return ca, fmt.Errorf("results: unknown aggregate %q", a.Op)
+		}
+		pct, err := strconv.ParseFloat(a.Op[1:], 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return ca, fmt.Errorf("results: bad percentile aggregate %q", a.Op)
+		}
+		ca.q = pct / 100
+	}
+	if schema[c].Kind == String {
+		return ca, fmt.Errorf("results: aggregate %s over string column %q", a.Op, a.Col)
+	}
+	return ca, nil
+}
+
+func evalFilter(sc *Scanner, f compiledFilter) (bool, error) {
+	kind := sc.st.schema[f.col].Kind
+	if kind == String {
+		return cmpOrdered(sc.Str(f.col), f.val.Str, f.op), nil
+	}
+	var x float64
+	if kind == Int64 {
+		x = float64(sc.Int(f.col))
+	} else {
+		x = sc.Float(f.col)
+	}
+	y := f.val.F
+	if f.val.Kind == Int64 {
+		y = float64(f.val.Int)
+	}
+	return cmpOrdered(x, y, f.op), nil
+}
+
+// cmpOrdered applies op. Filter equality on float columns is
+// deliberately exact: it matches the bit-identical value the writer
+// stored (floats round-trip exactly through the raw-bits encoding),
+// which is what "select this config point" means.
+func cmpOrdered[T float64 | string](a, b T, op CmpOp) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func foldAgg(s *aggState, a *compiledAgg, sc *Scanner) {
+	s.count++
+	if a.col < 0 {
+		return
+	}
+	var x float64
+	if sc.st.schema[a.col].Kind == Int64 {
+		x = float64(sc.Int(a.col))
+	} else {
+		x = sc.Float(a.col)
+	}
+	if s.count == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.sum += x
+	if s.quant != nil {
+		s.quant.Add(x)
+	}
+}
+
+func finishAgg(s *aggState, a *compiledAgg) Value {
+	switch {
+	case a.op == "count":
+		return IntVal(s.count)
+	case a.op == "sum":
+		return FloatVal(s.sum)
+	case a.op == "mean":
+		if s.count == 0 {
+			return FloatVal(0)
+		}
+		return FloatVal(s.sum / float64(s.count))
+	case a.op == "min":
+		return FloatVal(s.min)
+	case a.op == "max":
+		return FloatVal(s.max)
+	default:
+		return FloatVal(s.quant.Value())
+	}
+}
+
+// appendKey appends an unambiguous encoding of v (kind tag, length
+// prefix for strings) to the group-key scratch.
+func appendKey(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case Int64:
+		dst = strconv.AppendInt(dst, v.Int, 16)
+	case Float64:
+		dst = strconv.AppendFloat(dst, v.F, 'x', -1, 64)
+	case String:
+		dst = strconv.AppendInt(dst, int64(len(v.Str)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, v.Str...)
+	}
+	return append(dst, 0)
+}
+
+// lessValues orders group keys column by column: numerics numerically,
+// strings lexicographically.
+func lessValues(a, b []Value) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		x, y := a[i], b[i]
+		if x.Kind == String {
+			if x.Str != y.Str {
+				return x.Str < y.Str
+			}
+			continue
+		}
+		xf, yf := x.F, y.F
+		if x.Kind == Int64 {
+			xf = float64(x.Int)
+		}
+		if y.Kind == Int64 {
+			yf = float64(y.Int)
+		}
+		if xf < yf {
+			return true
+		}
+		if xf > yf {
+			return false
+		}
+	}
+	return len(a) < len(b)
+}

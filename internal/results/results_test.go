@@ -1,0 +1,382 @@
+package results
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"potsim/internal/sim"
+)
+
+func testSchema() Schema {
+	return Schema{
+		{Name: "cell", Kind: Int64},
+		{Name: "policy", Kind: String},
+		{Name: "penalty", Kind: Float64},
+	}
+}
+
+// fillRows appends n deterministic rows through the appender.
+func fillRows(t *testing.T, a *Appender, n, base int) {
+	t.Helper()
+	policies := [...]string{"pots", "naive", "tep"}
+	row := make([]Value, 3)
+	for i := 0; i < n; i++ {
+		row[0] = IntVal(int64(base + i))
+		row[1] = StrVal(policies[(base+i)%len(policies)])
+		row[2] = FloatVal(float64(base+i) * 0.25)
+		if err := a.Append(row); err != nil {
+			t.Fatalf("append row %d: %v", base+i, err)
+		}
+	}
+}
+
+// verifyRows scans the store and checks the deterministic contents.
+func verifyRows(t *testing.T, st *Store, n int) {
+	t.Helper()
+	policies := [...]string{"pots", "naive", "tep"}
+	sc := st.Scan()
+	i := 0
+	for sc.Next() {
+		if got := sc.Int(0); got != int64(i) {
+			t.Fatalf("row %d: cell = %d", i, got)
+		}
+		if got := sc.Str(1); got != policies[i%len(policies)] {
+			t.Fatalf("row %d: policy = %q", i, got)
+		}
+		if got := sc.Float(2); got != float64(i)*0.25 { //potlint:floateq exact round-trip is the format's contract
+			t.Fatalf("row %d: penalty = %v", i, got)
+		}
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if i != n {
+		t.Fatalf("scanned %d rows, want %d", i, n)
+	}
+}
+
+func TestRoundTripAcrossBatches(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := Open(dir, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := st.NewAppender(100, map[string]string{"suite": "unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRows(t, a, 1234, 0) // 12 full segments + tail
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments() != 13 {
+		t.Fatalf("segments = %d, want 13", st.Segments())
+	}
+	if st.Rows() != 1234 {
+		t.Fatalf("rows = %d, want 1234", st.Rows())
+	}
+	verifyRows(t, st, 1234)
+
+	// Reopen from disk: same contents, same order, meta preserved.
+	st2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Schema().Equal(testSchema()) {
+		t.Fatalf("reopened schema %v", st2.Schema())
+	}
+	verifyRows(t, st2, 1234)
+	if got := st2.SegmentMeta(0)["suite"]; got != "unit" {
+		t.Fatalf("segment meta suite = %q", got)
+	}
+}
+
+func TestReopenAppendContinues(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir, testSchema())
+	a, _ := st.NewAppender(50, nil)
+	fillRows(t, a, 120, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := st2.NewAppender(50, nil)
+	fillRows(t, a2, 80, 120)
+	if err := a2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	verifyRows(t, st2, 200)
+}
+
+func TestValuesRoundTripExactly(t *testing.T) {
+	st, _ := Open(t.TempDir(), Schema{{Name: "i", Kind: Int64}, {Name: "f", Kind: Float64}, {Name: "s", Kind: String}})
+	a, _ := st.NewAppender(0, nil)
+	ints := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 42, 42, 1 << 40}
+	floats := []float64{0, math.Copysign(0, -1), 1.5, -2.75, math.Inf(1), math.Inf(-1), math.NaN(), math.SmallestNonzeroFloat64}
+	strs := []string{"", "a", "quoted,comma", "long-" + string(make([]byte, 100)), "a", "üñïçødé", "n/a", "x"}
+	for i := range ints {
+		if err := a.Append([]Value{IntVal(ints[i]), FloatVal(floats[i]), StrVal(strs[i])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := st.Scan()
+	for i := 0; sc.Next(); i++ {
+		if got := sc.Int(0); got != ints[i] {
+			t.Errorf("int[%d] = %d, want %d", i, got, ints[i])
+		}
+		if got, want := math.Float64bits(sc.Float(1)), math.Float64bits(floats[i]); got != want {
+			t.Errorf("float[%d] bits = %x, want %x (NaN payloads and -0 must survive)", i, got, want)
+		}
+		if got := sc.Str(2); got != strs[i] {
+			t.Errorf("str[%d] = %q", i, got)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRejectsShapeMismatches(t *testing.T) {
+	st, _ := Open(t.TempDir(), testSchema())
+	a, _ := st.NewAppender(0, nil)
+	if err := a.Append([]Value{IntVal(1)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := a.Append([]Value{StrVal("x"), StrVal("y"), FloatVal(0)}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	// The appender is still usable with a correct row.
+	if err := a.Append([]Value{IntVal(1), StrVal("p"), FloatVal(2)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir, testSchema())
+	a, _ := st.NewAppender(0, nil)
+	fillRows(t, a, 3, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, Schema{{Name: "other", Kind: Int64}})
+	if !errors.Is(err, ErrSchema) {
+		t.Fatalf("err = %v, want ErrSchema", err)
+	}
+}
+
+func TestResetEmptiesStore(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir, testSchema())
+	a, _ := st.NewAppender(10, nil)
+	fillRows(t, a, 35, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows() != 0 || st.Segments() != 0 {
+		t.Fatalf("after reset: %d rows, %d segments", st.Rows(), st.Segments())
+	}
+	st2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Rows() != 0 {
+		t.Fatalf("reopened rows = %d", st2.Rows())
+	}
+	// The old appender keeps working against the reset store.
+	fillRows(t, a, 5, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	verifyRows(t, st, 5)
+}
+
+func TestAppenderSteadyStateZeroAlloc(t *testing.T) {
+	st, _ := Open(t.TempDir(), testSchema())
+	a, _ := st.NewAppender(1<<30, nil) // never flush during measurement
+	row := make([]Value, 3)
+	policies := [...]string{"pots", "naive", "tep"}
+	i := 0
+	appendOne := func() {
+		row[0] = IntVal(int64(i))
+		row[1] = StrVal(policies[i%3])
+		row[2] = FloatVal(float64(i) * 1.25)
+		if err := a.Append(row); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	for w := 0; w < 4096; w++ {
+		appendOne() // warm-up: scratch buffers and dictionaries grow here
+	}
+	// Scratch capacity doubles as slices grow, so the measured window
+	// must fit inside the headroom warm-up left behind.
+	if avg := testing.AllocsPerRun(1000, appendOne); avg != 0 {
+		t.Fatalf("Append allocates %.1f allocs/op at steady state, want 0", avg)
+	}
+}
+
+func TestQueryGroupByAggregates(t *testing.T) {
+	st, _ := Open(t.TempDir(), testSchema())
+	a, _ := st.NewAppender(7, nil) // ragged batches: query spans segments
+	fillRows(t, a, 100, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.RunQuery(Query{
+		GroupBy: []string{"policy"},
+		Aggs: []Agg{
+			{Op: "count"},
+			{Op: "mean", Col: "penalty"},
+			{Op: "min", Col: "penalty"},
+			{Op: "max", Col: "penalty"},
+			{Op: "sum", Col: "cell"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeaders := []string{"policy", "count", "mean(penalty)", "min(penalty)", "max(penalty)", "sum(cell)"}
+	if len(res.Headers) != len(wantHeaders) {
+		t.Fatalf("headers = %v", res.Headers)
+	}
+	for i := range wantHeaders {
+		if res.Headers[i] != wantHeaders[i] {
+			t.Fatalf("headers = %v, want %v", res.Headers, wantHeaders)
+		}
+	}
+	// Groups come back sorted: naive, pots, tep.
+	if len(res.Rows) != 3 || res.Rows[0][0].Str != "naive" || res.Rows[1][0].Str != "pots" || res.Rows[2][0].Str != "tep" {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	// policy cycles i%3: pots at 0,3,..,99 (34 rows), naive at 1,4,..,97
+	// (33), tep at 2,5,..,98 (33).
+	if n := res.Rows[1][1].Int; n != 34 {
+		t.Fatalf("count(pots) = %d, want 34", n)
+	}
+	// naive cells are 1,4,...,97: sum = 33*(1+97)/2 = 1617.
+	if s := res.Rows[0][5].F; s != 1617 { //potlint:floateq exact integer sum
+		t.Fatalf("sum(cell) naive = %v", s)
+	}
+	// min/max penalty for tep: cells 2..98 step 3, *0.25.
+	if lo, hi := res.Rows[2][3].F, res.Rows[2][4].F; lo != 0.5 || hi != 24.5 { //potlint:floateq exact quarters
+		t.Fatalf("tep penalty range [%v,%v]", lo, hi)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	st, _ := Open(t.TempDir(), testSchema())
+	a, _ := st.NewAppender(0, nil)
+	fillRows(t, a, 60, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.RunQuery(Query{
+		Filters: []Filter{
+			{Col: "policy", Op: Eq, Val: StrVal("pots")},
+			{Col: "cell", Op: Lt, Val: IntVal(30)},
+		},
+		Aggs: []Agg{{Op: "count"}, {Op: "max", Col: "cell"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// pots cells < 30: 0,3,...,27 -> 10 rows, max 27.
+	if res.Rows[0][0].Int != 10 || res.Rows[0][1].F != 27 { //potlint:floateq exact integer max
+		t.Fatalf("filtered aggregate = %v", res.Rows[0])
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	st, _ := Open(t.TempDir(), testSchema())
+	a, _ := st.NewAppender(0, nil)
+	fillRows(t, a, 3, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Query{
+		{Filters: []Filter{{Col: "nope", Op: Eq, Val: IntVal(0)}}},
+		{Filters: []Filter{{Col: "policy", Op: Eq, Val: IntVal(0)}}},
+		{GroupBy: []string{"nope"}},
+		{Aggs: []Agg{{Op: "mean", Col: "policy"}}},
+		{Aggs: []Agg{{Op: "p200", Col: "penalty"}}},
+		{Aggs: []Agg{{Op: "mode", Col: "penalty"}}},
+	}
+	for i, q := range cases {
+		if _, err := st.RunQuery(q); err == nil {
+			t.Errorf("case %d: bad query accepted", i)
+		}
+	}
+}
+
+func TestQuantileExactSmall(t *testing.T) {
+	rng := sim.NewRNG(7).Stream("quant")
+	for _, n := range []int{1, 2, 5, 32, 64} {
+		for _, q := range []float64{0, 0.5, 0.95, 1} {
+			est := NewQuantile(q)
+			samples := make([]float64, n)
+			for i := range samples {
+				samples[i] = rng.Uniform(-50, 50)
+				est.Add(samples[i])
+			}
+			sort.Float64s(samples)
+			rank := int(math.Ceil(q*float64(n))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			want := samples[rank]
+			if got := est.Value(); got != want { //potlint:floateq small streams are exact nearest-rank by contract
+				t.Errorf("n=%d q=%v: got %v, want %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileAccuracyLargeStream(t *testing.T) {
+	rng := sim.NewRNG(11).Stream("quant")
+	n := 200000
+	if testing.Short() {
+		n = 20000
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		est := NewQuantile(q)
+		for i := 0; i < n; i++ {
+			est.Add(rng.Uniform(0, 1000))
+		}
+		want := q * 1000 // true quantile of U(0,1000)
+		if got := est.Value(); math.Abs(got-want) > 10 {
+			t.Errorf("q=%v over %d uniform samples: estimate %v, true %v (tolerance 1%%)", q, n, got, want)
+		}
+	}
+}
+
+func TestOpenEmptyDirNeedsSchemaOnlyForAppend(t *testing.T) {
+	st, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.NewAppender(0, nil); err == nil {
+		t.Fatal("appender without schema accepted")
+	}
+	res, err := st.RunQuery(Query{Aggs: []Agg{{Op: "count"}}})
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("empty query = %v, %v", res, err)
+	}
+}

@@ -1,0 +1,367 @@
+package results
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// On-disk segment layout (version 1):
+//
+//	[8]  header magic "POTSEG1\n"
+//	[..] column blocks, back to back, in schema order
+//	[..] footer: JSON (segFooter) describing schema, rows, meta and a
+//	     SHA-256 per column block
+//	[48] trailer: uint64 LE footer length, SHA-256 of the footer
+//	     bytes, trailer magic "POTSEGFT"
+//
+// The trailer is fixed-size so a reader can frame the footer from the
+// end of the file without trusting anything else; the footer is
+// checksummed by the trailer, and every column block is checksummed by
+// the footer. Decode verifies magic -> trailer -> footer checksum ->
+// version -> schema -> block bounds -> block checksums before decoding
+// a single value, mirroring internal/checkpoint's verify-then-decode
+// order.
+
+const (
+	headerMagic  = "POTSEG1\n"
+	trailerMagic = "POTSEGFT"
+	// FooterKind tags the JSON footer, in the spirit of the
+	// checkpoint envelope's kind field.
+	footerKind = "potsim-results-segment"
+	// segVersion is the current segment format version.
+	segVersion = 1
+	trailerLen = 8 + sha256.Size + 8
+)
+
+// segFooter is the JSON footer at the tail of every segment.
+type segFooter struct {
+	Kind    string            `json:"kind"`
+	Version int               `json:"version"`
+	Rows    int               `json:"rows"`
+	Meta    map[string]string `json:"meta,omitempty"`
+	Columns []segColumn       `json:"columns"`
+}
+
+// segColumn locates and checksums one column block.
+type segColumn struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+	SHA256 string `json:"sha256"`
+}
+
+// columnData is one decoded column. Exactly one slice is populated,
+// selected by Kind; String columns carry dict + indexes so cursors can
+// return shared string headers without per-row allocation.
+type columnData struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Dict   []string
+	StrIdx []uint32
+}
+
+// segmentData is one fully decoded, fully verified segment.
+type segmentData struct {
+	Rows   int
+	Meta   map[string]string
+	Schema Schema
+	Cols   []columnData
+}
+
+// appendUvarint appends the unsigned varint encoding of v to dst.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// zigzag maps signed deltas onto unsigned varint-friendly values.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encodeIntBlock appends the block encoding of vals: uvarint count,
+// then zigzag varints of successive deltas (first delta from zero).
+// Monotonic or clustered ids — the common case for cell indexes, seeds
+// and config hashes — collapse to one or two bytes per row.
+func encodeIntBlock(dst []byte, vals []int64) []byte {
+	dst = appendUvarint(dst, uint64(len(vals)))
+	prev := int64(0)
+	for _, v := range vals {
+		dst = appendUvarint(dst, zigzag(v-prev))
+		prev = v
+	}
+	return dst
+}
+
+// encodeFloatBlock appends uvarint count then raw little-endian IEEE
+// bits. Floats round-trip exactly; no formatting is involved.
+func encodeFloatBlock(dst []byte, vals []float64) []byte {
+	dst = appendUvarint(dst, uint64(len(vals)))
+	var b [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// encodeStringBlock appends the dictionary (uvarint entry count, then
+// length-prefixed entries in first-seen order) followed by uvarint
+// count and one uvarint dictionary index per row.
+func encodeStringBlock(dst []byte, dict []string, idx []uint32) []byte {
+	dst = appendUvarint(dst, uint64(len(dict)))
+	for _, s := range dict {
+		dst = appendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	dst = appendUvarint(dst, uint64(len(idx)))
+	for _, i := range idx {
+		dst = appendUvarint(dst, uint64(i))
+	}
+	return dst
+}
+
+// blockReader decodes one column block with strict bounds checking.
+type blockReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *blockReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint in column block", ErrCorrupt)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *blockReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, fmt.Errorf("%w: column block overruns its bounds", ErrCorrupt)
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// done returns an error unless the reader consumed the block exactly.
+func (r *blockReader) done() error {
+	if r.pos != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes after column block", ErrCorrupt, len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+// maxRowsPerBlock bounds decoded allocation against hostile counts in
+// corrupt blocks: no writer produces segments anywhere near this large.
+const maxRowsPerBlock = 1 << 26
+
+func decodeIntBlock(buf []byte, wantRows int) ([]int64, error) {
+	r := blockReader{buf: buf}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRowsPerBlock || int(n) != wantRows {
+		return nil, fmt.Errorf("%w: int column holds %d rows, footer says %d", ErrCorrupt, n, wantRows)
+	}
+	out := make([]int64, n)
+	prev := int64(0)
+	for i := range out {
+		u, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prev += unzigzag(u)
+		out[i] = prev
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func decodeFloatBlock(buf []byte, wantRows int) ([]float64, error) {
+	r := blockReader{buf: buf}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRowsPerBlock || int(n) != wantRows {
+		return nil, fmt.Errorf("%w: float column holds %d rows, footer says %d", ErrCorrupt, n, wantRows)
+	}
+	raw, err := r.bytes(int(n) * 8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func decodeStringBlock(buf []byte, wantRows int) ([]string, []uint32, error) {
+	r := blockReader{buf: buf}
+	dictN, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if dictN > maxRowsPerBlock {
+		return nil, nil, fmt.Errorf("%w: string dictionary claims %d entries", ErrCorrupt, dictN)
+	}
+	dict := make([]string, dictN)
+	for i := range dict {
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		if l > uint64(len(buf)) {
+			return nil, nil, fmt.Errorf("%w: dictionary entry length %d exceeds block", ErrCorrupt, l)
+		}
+		b, err := r.bytes(int(l))
+		if err != nil {
+			return nil, nil, err
+		}
+		dict[i] = string(b)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxRowsPerBlock || int(n) != wantRows {
+		return nil, nil, fmt.Errorf("%w: string column holds %d rows, footer says %d", ErrCorrupt, n, wantRows)
+	}
+	idx := make([]uint32, n)
+	for i := range idx {
+		u, err := r.uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		if u >= dictN {
+			return nil, nil, fmt.Errorf("%w: string index %d outside dictionary of %d", ErrCorrupt, u, dictN)
+		}
+		idx[i] = uint32(u)
+	}
+	if err := r.done(); err != nil {
+		return nil, nil, err
+	}
+	return dict, idx, nil
+}
+
+// decodeSegment verifies and decodes a whole segment file image. Every
+// checksum and bound is checked before values are handed back; any
+// failure is one of the typed sentinel errors.
+func decodeSegment(blob []byte, want Schema) (*segmentData, error) {
+	if len(blob) < len(headerMagic)+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes is too short to frame", ErrNotSegment, len(blob))
+	}
+	if string(blob[:len(headerMagic)]) != headerMagic {
+		return nil, fmt.Errorf("%w: bad header magic", ErrNotSegment)
+	}
+	trailer := blob[len(blob)-trailerLen:]
+	if string(trailer[trailerLen-8:]) != trailerMagic {
+		// The header said "segment" but the tail is gone: a torn or
+		// truncated file, not a foreign one.
+		return nil, fmt.Errorf("%w: trailer magic missing (torn tail)", ErrCorrupt)
+	}
+	footerLen := binary.LittleEndian.Uint64(trailer[:8])
+	dataEnd := len(blob) - trailerLen - int(footerLen)
+	if footerLen > uint64(len(blob)) || dataEnd < len(headerMagic) {
+		return nil, fmt.Errorf("%w: footer length %d does not fit the file", ErrCorrupt, footerLen)
+	}
+	footerBytes := blob[dataEnd : len(blob)-trailerLen]
+	sum := sha256.Sum256(footerBytes)
+	if !shaEqual(sum[:], trailer[8:8+sha256.Size]) {
+		return nil, fmt.Errorf("%w: footer sha256 mismatch", ErrCorrupt)
+	}
+	var f segFooter
+	if err := json.Unmarshal(footerBytes, &f); err != nil {
+		return nil, fmt.Errorf("%w: footer does not decode: %v", ErrCorrupt, err)
+	}
+	if f.Kind != footerKind {
+		return nil, fmt.Errorf("%w: footer kind %q, want %q", ErrCorrupt, f.Kind, footerKind)
+	}
+	if f.Version != segVersion {
+		return nil, fmt.Errorf("%w: segment is format v%d, this build reads v%d",
+			ErrVersion, f.Version, segVersion)
+	}
+	if f.Rows < 0 || f.Rows > maxRowsPerBlock {
+		return nil, fmt.Errorf("%w: implausible row count %d", ErrCorrupt, f.Rows)
+	}
+	schema := make(Schema, len(f.Columns))
+	for i, c := range f.Columns {
+		k, err := parseKind(c.Kind)
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = Column{Name: c.Name, Kind: k}
+	}
+	if want != nil && !schema.Equal(want) {
+		return nil, fmt.Errorf("%w: segment schema %v, store schema %v", ErrSchema, schema, want)
+	}
+	sd := &segmentData{Rows: f.Rows, Meta: f.Meta, Schema: schema, Cols: make([]columnData, len(f.Columns))}
+	next := int64(len(headerMagic))
+	for i, c := range f.Columns {
+		if c.Offset != next || c.Length < 0 || c.Offset+c.Length > int64(dataEnd) {
+			return nil, fmt.Errorf("%w: column %q block [%d,+%d) out of order or out of bounds",
+				ErrCorrupt, c.Name, c.Offset, c.Length)
+		}
+		next = c.Offset + c.Length
+		block := blob[c.Offset : c.Offset+c.Length]
+		bs := sha256.Sum256(block)
+		if hex.EncodeToString(bs[:]) != c.SHA256 {
+			return nil, fmt.Errorf("%w: column %q sha256 mismatch", ErrCorrupt, c.Name)
+		}
+		col := &sd.Cols[i]
+		col.Kind = schema[i].Kind
+		var err error
+		switch schema[i].Kind {
+		case Int64:
+			col.Ints, err = decodeIntBlock(block, f.Rows)
+		case Float64:
+			col.Floats, err = decodeFloatBlock(block, f.Rows)
+		case String:
+			col.Dict, col.StrIdx, err = decodeStringBlock(block, f.Rows)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", c.Name, err)
+		}
+	}
+	if next != int64(dataEnd) {
+		return nil, fmt.Errorf("%w: %d unaccounted bytes between blocks and footer", ErrCorrupt, int64(dataEnd)-next)
+	}
+	return sd, nil
+}
+
+// shaEqual compares two raw digests.
+func shaEqual(a, b []byte) bool { return bytes.Equal(a, b) }
+
+// readSegmentFile loads and fully verifies one segment file.
+func readSegmentFile(path string, want Schema) (*segmentData, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := decodeSegment(blob, want)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sd, nil
+}

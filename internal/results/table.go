@@ -1,0 +1,276 @@
+package results
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"potsim/internal/metrics"
+)
+
+// Well-known segment meta keys for table-shaped stores.
+const (
+	// MetaID is the experiment or result identifier (e.g. "E1").
+	MetaID = "id"
+	// MetaTitle is the table title, so an export can reconstruct the
+	// rendered header line.
+	MetaTitle = "title"
+)
+
+// Column kind inference.
+//
+// A metrics.Table is strings at the surface (Rows is what Render and
+// CSV emit) with the native values retained underneath (Table.Raw).
+// WriteTable stores a column natively only when every cell's native
+// value re-renders to exactly the string in Rows — integers via
+// strconv.FormatInt, floats via metrics.FormatFloat — and otherwise
+// degrades the column to strings. ImportCSV applies the same rule to
+// values parsed back out of the rendered strings. Either way the
+// store's CSV export is byte-identical to the table it came from *by
+// construction*, not by hope: any cell that would not round-trip is
+// stored as its rendered string.
+
+// intOf extracts an integer-kinded native value.
+func intOf(c any) (int64, bool) {
+	switch v := c.(type) {
+	case int:
+		return int64(v), true
+	case int64:
+		return v, true
+	case int32:
+		return int64(v), true
+	case int16:
+		return int64(v), true
+	case int8:
+		return int64(v), true
+	case uint8:
+		return int64(v), true
+	case uint16:
+		return int64(v), true
+	case uint32:
+		return int64(v), true
+	case uint:
+		if uint64(v) <= 1<<63-1 {
+			return int64(v), true
+		}
+	case uint64:
+		if v <= 1<<63-1 {
+			return int64(v), true
+		}
+	}
+	return 0, false
+}
+
+// floatOf extracts a float-kinded native value (integers widen).
+func floatOf(c any) (float64, bool) {
+	if i, ok := intOf(c); ok {
+		return float64(i), true
+	}
+	if v, ok := c.(float64); ok {
+		return v, true
+	}
+	return 0, false
+}
+
+// cellSource yields, for one column, each row's native value (nil when
+// absent) and its rendered string.
+type cellSource func(row int) (raw any, rendered string)
+
+// inferColumn picks the narrowest kind whose re-rendering reproduces
+// every rendered string exactly, and returns the typed values.
+func inferColumn(rows int, src cellSource) (Kind, []Value) {
+	vals := make([]Value, rows)
+	// Integer pass.
+	ok := rows > 0
+	for i := 0; i < rows && ok; i++ {
+		raw, s := src(i)
+		v, isInt := intOf(raw)
+		if !isInt {
+			parsed, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			v = parsed
+		}
+		if strconv.FormatInt(v, 10) != s {
+			ok = false
+			break
+		}
+		vals[i] = IntVal(v)
+	}
+	if ok {
+		return Int64, vals
+	}
+	// Float pass.
+	ok = rows > 0
+	for i := 0; i < rows && ok; i++ {
+		raw, s := src(i)
+		v, isFloat := floatOf(raw)
+		if !isFloat {
+			parsed, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			v = parsed
+		}
+		if metrics.FormatFloat(v) != s {
+			ok = false
+			break
+		}
+		vals[i] = FloatVal(v)
+	}
+	if ok {
+		return Float64, vals
+	}
+	// String fallback: the rendered strings verbatim.
+	for i := 0; i < rows; i++ {
+		_, s := src(i)
+		vals[i] = StrVal(s)
+	}
+	return String, vals
+}
+
+// tableColumns infers the schema and typed cells for a whole table.
+func tableColumns(headers []string, rows [][]string, raw func(r, c int) (any, bool)) (Schema, [][]Value, error) {
+	for i, r := range rows {
+		if len(r) != len(headers) {
+			return nil, nil, fmt.Errorf("results: row %d has %d cells, table has %d headers", i, len(r), len(headers))
+		}
+	}
+	schema := make(Schema, len(headers))
+	cols := make([][]Value, len(headers))
+	for c := range headers {
+		kind, vals := inferColumn(len(rows), func(r int) (any, string) {
+			v, ok := raw(r, c)
+			if !ok {
+				v = nil
+			}
+			return v, rows[r][c]
+		})
+		schema[c] = Column{Name: headers[c], Kind: kind}
+		cols[c] = vals
+	}
+	out := make([][]Value, len(rows))
+	for r := range rows {
+		row := make([]Value, len(headers))
+		for c := range headers {
+			row[c] = cols[c][r]
+		}
+		out[r] = row
+	}
+	return schema, out, nil
+}
+
+// WriteTable stores t at dir as a columnar result store, replacing any
+// previous contents (a table write is a whole-result rewrite). meta is
+// recorded in every segment footer; the table title rides along under
+// MetaTitle so ReadTable can reconstruct it.
+func WriteTable(dir string, t *metrics.Table, meta map[string]string) error {
+	schema, rows, err := tableColumns(t.Headers, t.Rows, t.Raw)
+	if err != nil {
+		return err
+	}
+	st, err := Replace(dir, schema)
+	if err != nil {
+		return err
+	}
+	m := make(map[string]string, len(meta)+1)
+	for k, v := range meta {
+		m[k] = v
+	}
+	if t.Title != "" {
+		m[MetaTitle] = t.Title
+	}
+	a, err := st.NewAppender(0, m)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := a.Append(row); err != nil {
+			return err
+		}
+	}
+	return a.Close()
+}
+
+// formatValue renders one stored cell exactly as the originating table
+// rendered it (see the inference contract above).
+func formatValue(v Value) string {
+	switch v.Kind {
+	case Int64:
+		return strconv.FormatInt(v.Int, 10)
+	case Float64:
+		return metrics.FormatFloat(v.F)
+	default:
+		return v.Str
+	}
+}
+
+// ReadTable reconstructs the table stored at dir: headers from the
+// schema, rows re-rendered per column kind, title from segment meta.
+// The segment meta of the first segment is returned alongside.
+func ReadTable(dir string) (*metrics.Table, map[string]string, error) {
+	st, err := Open(dir, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return StoreTable(st)
+}
+
+// StoreTable is ReadTable over an already-open store.
+func StoreTable(st *Store) (*metrics.Table, map[string]string, error) {
+	meta := map[string]string{}
+	if st.Segments() > 0 {
+		for k, v := range st.SegmentMeta(0) {
+			meta[k] = v
+		}
+	}
+	t := &metrics.Table{Title: meta[MetaTitle]}
+	for _, c := range st.Schema() {
+		t.Headers = append(t.Headers, c.Name)
+	}
+	sc := st.Scan()
+	for sc.Next() {
+		row := make([]string, len(t.Headers))
+		for c := range t.Headers {
+			row[c] = formatValue(sc.Value(c))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return t, meta, nil
+}
+
+// ExportCSV renders the store at dir back to the harness's CSV form —
+// byte-identical to the Table.CSV() of the table that was stored.
+func ExportCSV(dir string) ([]byte, error) {
+	t, _, err := ReadTable(dir)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(t.CSV()), nil
+}
+
+// ImportCSV converts a rendered CSV table (the harness's plain
+// comma-join format: one header line, no quoting) into a store at
+// dir, inferring column kinds with the round-trip rule so that
+// ExportCSV(dir) reproduces the input bytes exactly.
+func ImportCSV(csvBytes []byte, dir string, meta map[string]string) error {
+	text := string(csvBytes)
+	if !strings.HasSuffix(text, "\n") {
+		return fmt.Errorf("results: CSV input does not end in a newline (truncated?)")
+	}
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return fmt.Errorf("results: CSV input has no header line")
+	}
+	t := &metrics.Table{Headers: strings.Split(lines[0], ",")}
+	for _, ln := range lines[1:] {
+		t.Rows = append(t.Rows, strings.Split(ln, ","))
+	}
+	return WriteTable(dir, t, meta)
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"potsim/internal/results"
+)
+
+// cacheIndexSchema is the segment-backed cache index: one row per
+// content-addressed cache entry, keyed by spec fingerprint. The index
+// is derived data — the cache files stay authoritative — so a corrupt
+// index is wiped and rebuilt from the cache directory, never trusted
+// over it.
+var cacheIndexSchema = results.Schema{
+	{Name: "fingerprint", Kind: results.String},
+	{Name: "job", Kind: results.String},
+	{Name: "kind", Kind: results.String},
+	{Name: "experiment", Kind: results.String},
+}
+
+// cacheIndex accelerates cache lookups with an in-memory fingerprint
+// set backed by an append-only columnar result store (internal/
+// results). Negative lookups — the overwhelming majority under a
+// dedup storm of novel specs — are answered from memory without
+// touching the cache directory; every add appends one durable,
+// checksummed segment, so the index survives restarts and is
+// queryable with cmd/results for a cache audit.
+type cacheIndex struct {
+	mu   sync.Mutex
+	ap   *results.Appender
+	have map[string]bool
+	logf func(string, ...any)
+}
+
+// openCacheIndex opens (or rebuilds) the index store and loads the
+// fingerprint set. A store that fails to open is replaced empty: the
+// caller reconciles it against the cache directory afterwards, so a
+// wiped index heals instead of masking cache entries.
+func openCacheIndex(dir string, logf func(string, ...any)) (*cacheIndex, error) {
+	st, err := results.Open(dir, cacheIndexSchema)
+	if err != nil {
+		logf("cache index %s unusable (%v); rebuilding", dir, err)
+		if st, err = results.Replace(dir, cacheIndexSchema); err != nil {
+			return nil, err
+		}
+	}
+	ix := &cacheIndex{have: make(map[string]bool), logf: logf}
+	fpCol := cacheIndexSchema.Col("fingerprint")
+	sc := st.Scan()
+	for sc.Next() {
+		ix.have[sc.Str(fpCol)] = true
+	}
+	if err := sc.Err(); err != nil {
+		// A torn tail or corrupt segment: the entries already decoded
+		// stay, the rest come back via reconciliation.
+		logf("cache index %s partially unreadable: %v", dir, err)
+	}
+	// Batch 1: every add lands as its own fsync'd segment immediately —
+	// index entries are rare (one per completed job) and must be
+	// durable before the next crash.
+	ap, err := st.NewAppender(1, map[string]string{"purpose": "cache-index"})
+	if err != nil {
+		return nil, err
+	}
+	ix.ap = ap
+	return ix, nil
+}
+
+// has reports whether fp is indexed. A false answer is a definite
+// cache miss for entries written by this server (adds are ordered
+// after the cache file write and reconciled at startup).
+func (ix *cacheIndex) has(fp string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.have[fp]
+}
+
+// add records one cache entry, durably. Failures are logged and the
+// in-memory set is updated anyway — a lost index row costs one disk
+// probe after the next restart, never a wrong answer.
+func (ix *cacheIndex) add(fp, jobID, kind, experiment string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.have[fp] {
+		return
+	}
+	ix.have[fp] = true
+	err := ix.ap.Append([]results.Value{
+		results.StrVal(fp), results.StrVal(jobID),
+		results.StrVal(kind), results.StrVal(experiment),
+	})
+	if err != nil {
+		ix.logf("cache index append for %s: %v", fp, err)
+	}
+}
+
+// reconcile walks the cache directory and indexes any entry the store
+// does not know about — pre-index data dirs, a crash between the cache
+// write and the index append, or a rebuilt index all heal here.
+func (ix *cacheIndex) reconcile(cacheDir string) {
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		ix.logf("cache index reconcile: %v", err)
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		fp := strings.TrimSuffix(name, ".json")
+		if !ix.has(fp) {
+			ix.logf("cache index: adopting unindexed entry %s", filepath.Join(cacheDir, name))
+			ix.add(fp, "", "", "")
+		}
+	}
+}

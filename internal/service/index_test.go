@@ -1,0 +1,124 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"potsim/internal/results"
+	"potsim/internal/sim"
+)
+
+// TestCacheIndexBacksHitsAcrossRestart drives the segment-backed
+// index end to end: a completed job lands one index row, identical
+// submissions count as index hits in the same process and after a
+// restart, and the index store itself stays a valid, queryable
+// columnar store.
+func TestCacheIndexBacksHitsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := simSpec(20*sim.Millisecond, 17)
+
+	s1, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s1.Submit(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, first.Job, StateDone)
+	again, err := s1.Submit(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("second identical submission missed the cache")
+	}
+	if st := s1.Stats(); st.CacheIndexHits != 1 {
+		t.Fatalf("CacheIndexHits = %d, want 1 (stats %+v)", st.CacheIndexHits, st)
+	}
+	drain(t, s1)
+
+	// The index is a real result store: cmd/results could audit it.
+	st, err := results.Open(filepath.Join(dir, "cache-index"), nil)
+	if err != nil {
+		t.Fatalf("cache index is not a valid store: %v", err)
+	}
+	if st.Rows() != 1 {
+		t.Fatalf("index rows = %d, want 1", st.Rows())
+	}
+	sc := st.Scan()
+	if !sc.Next() {
+		t.Fatalf("index scan empty: %v", sc.Err())
+	}
+	if got := sc.Str(st.Schema().Col("fingerprint")); got != first.Job.Fingerprint {
+		t.Fatalf("indexed fingerprint %q != job fingerprint %q", got, first.Job.Fingerprint)
+	}
+	if got := sc.Str(st.Schema().Col("job")); got != first.Job.ID {
+		t.Fatalf("indexed job %q != %q", got, first.Job.ID)
+	}
+
+	// A fresh process reloads the fingerprint set from the segments and
+	// serves the hit without re-running anything.
+	s2, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, s2)
+	third, err := s2.Submit(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.CacheHit {
+		t.Fatal("restarted server missed the durable cache")
+	}
+	if st := s2.Stats(); st.CacheIndexHits != 1 {
+		t.Fatalf("restarted CacheIndexHits = %d, want 1", st.CacheIndexHits)
+	}
+}
+
+// TestCacheIndexRebuildsFromCacheDir corrupts the index so the store
+// cannot open (forcing the rebuild path) and checks reconciliation
+// re-adopts the orphaned cache entries, so lookups still hit.
+func TestCacheIndexRebuildsFromCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	spec := simSpec(20*sim.Millisecond, 19)
+
+	s1, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s1.Submit(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, out.Job, StateDone)
+	drain(t, s1)
+
+	// Corrupt the index beyond repair: truncate every segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "cache-index", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no index segments to corrupt (err %v)", err)
+	}
+	for _, seg := range segs {
+		if err := os.WriteFile(seg, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("corrupt index must rebuild, not fail startup: %v", err)
+	}
+	defer drain(t, s2)
+	hit, err := s2.Submit(spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("reconciled index lost the cache entry")
+	}
+	if st := s2.Stats(); st.CacheIndexHits != 1 {
+		t.Fatalf("CacheIndexHits after rebuild = %d, want 1", st.CacheIndexHits)
+	}
+}

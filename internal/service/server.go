@@ -160,14 +160,17 @@ type Stats struct {
 	QueueDepth int  `json:"queueDepth"`
 	JobWorkers int  `json:"jobWorkers"`
 
-	Submitted   int `json:"submitted"`
-	Deduped     int `json:"deduped"`
-	CacheHits   int `json:"cacheHits"`
-	Completed   int `json:"completed"`
-	Failed      int `json:"failed"`
-	Canceled    int `json:"canceled"`
-	Interrupted int `json:"interrupted"`
-	Recovered   int `json:"recovered"`
+	Submitted int `json:"submitted"`
+	Deduped   int `json:"deduped"`
+	CacheHits int `json:"cacheHits"`
+	// CacheIndexHits counts cache hits answered via the segment-backed
+	// fingerprint index (DataDir mode) rather than a blind disk probe.
+	CacheIndexHits int `json:"cacheIndexHits"`
+	Completed      int `json:"completed"`
+	Failed         int `json:"failed"`
+	Canceled       int `json:"canceled"`
+	Interrupted    int `json:"interrupted"`
+	Recovered      int `json:"recovered"`
 
 	RejectedQueueFull int `json:"rejectedQueueFull"`
 	RejectedTenant    int `json:"rejectedTenant"`
@@ -196,6 +199,7 @@ type Server struct {
 	stats    Stats
 
 	memCache map[string][]byte // fingerprint -> result doc, DataDir == "" only
+	idx      *cacheIndex       // segment-backed cache index, DataDir != "" only
 
 	queue     chan *Job
 	drainCh   chan struct{}
@@ -222,10 +226,20 @@ func New(cfg Config) (*Server, error) {
 				return nil, fmt.Errorf("service: creating data dir: %w", err)
 			}
 		}
+		idx, err := openCacheIndex(s.indexDir(), s.logf)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening cache index: %w", err)
+		}
+		s.idx = idx
 	}
 	recovered, err := s.recoverJobs()
 	if err != nil {
 		return nil, err
+	}
+	if s.idx != nil {
+		// After recovery: repairCache may just have re-created cache
+		// entries the index never saw (crash between the two writes).
+		s.idx.reconcile(s.cacheDir())
 	}
 	// The channel is sized so that sends under the admission invariant
 	// (queued < QueueDepth, plus the recovered backlog) never block.
@@ -243,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 
 func (s *Server) jobsDir() string  { return filepath.Join(s.cfg.DataDir, "jobs") }
 func (s *Server) cacheDir() string { return filepath.Join(s.cfg.DataDir, "cache") }
+func (s *Server) indexDir() string { return filepath.Join(s.cfg.DataDir, "cache-index") }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -376,6 +391,8 @@ func (s *Server) repairCache(fp string, doc *ResultDoc) {
 	}
 	if err := checkpoint.Save(path, resultKind, resultVersion, doc); err != nil {
 		s.logf("cache repair for %s: %v", fp, err)
+	} else if s.idx != nil {
+		s.idx.add(fp, "", doc.Kind, doc.Experiment)
 	}
 }
 
@@ -428,6 +445,9 @@ func (s *Server) Submit(spec JobSpec, tenant string) (SubmitOutcome, error) {
 	if doc, ok := s.loadCacheLocked(fp); ok {
 		job := s.newCachedJobLocked(spec, tenant, fp, doc)
 		s.stats.CacheHits++
+		if s.idx != nil && s.idx.has(fp) {
+			s.stats.CacheIndexHits++
+		}
 		s.mu.Unlock()
 		return SubmitOutcome{Job: job, CacheHit: true}, nil
 	}
@@ -521,6 +541,13 @@ func (s *Server) loadCacheLocked(fp string) ([]byte, bool) {
 	if s.cfg.DataDir == "" {
 		doc, ok := s.memCache[fp]
 		return doc, ok
+	}
+	// The segment index answers negative lookups from memory: every
+	// cache write this server makes is indexed (and startup reconciles
+	// the directory), so an unindexed fingerprint cannot have an entry
+	// and the disk probe below is skipped.
+	if s.idx != nil && !s.idx.has(fp) {
+		return nil, false
 	}
 	var doc ResultDoc
 	if err := checkpoint.Load(s.cachePath(fp), resultKind, resultVersion, &doc); err != nil {
@@ -775,6 +802,8 @@ func (s *Server) persistResult(job *Job, doc *ResultDoc) {
 	if path := s.cachePath(job.Fingerprint); path != "" {
 		if err := checkpoint.Save(path, resultKind, resultVersion, doc); err != nil {
 			s.logf("caching result of %s: %v", job.ID, err)
+		} else if s.idx != nil {
+			s.idx.add(job.Fingerprint, job.ID, doc.Kind, doc.Experiment)
 		}
 	} else {
 		blob, err := json.Marshal(doc)
