@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint lint-fix-report bench bench-gate bench-baseline experiments quick-experiments examples fmt clean
+.PHONY: all build vet test lint lint-fix-report lint-sarif bench bench-gate bench-baseline experiments quick-experiments examples fmt clean
 
 # Benchmarks gated against bench/baseline.txt by bench-gate (and CI).
 # BenchmarkResultsAppend/store is fsync-bound, so its ns/op is not in
@@ -41,6 +41,12 @@ lint:
 lint-fix-report:
 	$(GO) run ./cmd/potlint -json ./... > potlint-report.json; \
 	status=$$?; cat potlint-report.json; exit $$status
+
+# SARIF 2.1.0 findings for code-scanning uploads (CI feeds this to
+# github/codeql-action/upload-sarif so findings annotate the PR diff).
+lint-sarif:
+	$(GO) run ./cmd/potlint -sarif ./... > potlint.sarif; \
+	status=$$?; cat potlint.sarif; exit $$status
 
 # Regenerate every reproduction benchmark (quick mode) with allocations,
 # keeping the raw capture and a dated JSON summary (see cmd/benchreport).

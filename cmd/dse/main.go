@@ -295,7 +295,7 @@ func runSweep(tdpList, ivList string, horizon time.Duration, seeds int, csvPath 
 	fmt.Print(t.Render())
 	fmt.Println("\n'*' marks Pareto-optimal configurations.")
 	if csvPath != "" {
-		if err := os.WriteFile(csvPath, []byte(t.CSV()), 0o644); err != nil {
+		if err := checkpoint.WriteFileAtomic(csvPath, []byte(t.CSV()), 0o644); err != nil {
 			return err
 		}
 	}

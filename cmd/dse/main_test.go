@@ -193,3 +193,39 @@ func TestRunCampaignMode(t *testing.T) {
 		t.Fatal("resume against a different spec's journal accepted")
 	}
 }
+
+// TestSweepCSVWriteIsAtomic pins the atomicwrite fix: the sweep CSV
+// must land via checkpoint.WriteFileAtomic (write-to-temp, fsync,
+// rename), so a pre-existing file is replaced wholesale and no *.tmp*
+// droppings survive a successful run.
+func TestSweepCSVWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "sweep.csv")
+	if err := os.WriteFile(csv, []byte("stale partial content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-tdp", "0.3", "-interval", "50ms",
+		"-horizon", "40ms", "-seeds", "1", "-csv", csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "stale partial") {
+		t.Fatal("sweep CSV was not replaced")
+	}
+	if !strings.HasPrefix(string(blob), "tdp-frac") {
+		t.Fatalf("sweep CSV lost its header: %q", string(blob)[:40])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind by the atomic write", e.Name())
+		}
+	}
+}

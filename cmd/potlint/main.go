@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		checks    = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
 		jsonOut   = fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		sarifOut  = fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 on stdout (for CI annotations)")
 		listOnly  = fs.Bool("analyzers", false, "list analyzers and exit")
 		dir       = fs.String("C", "", "change to this directory before loading packages")
 		versionFl = fs.String("V", "", "internal: version protocol for cmd/go (use -V=full)")
@@ -85,7 +86,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		root := *dir
+		if root == "" {
+			root, _ = os.Getwd()
+		}
+		if abs, err := filepath.Abs(root); err == nil {
+			root = abs
+		}
+		if err := writeSARIF(stdout, diags, root); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -95,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}

@@ -34,6 +34,10 @@ func TestFixtureFindings(t *testing.T) {
 		"map iteration order is randomized",
 		"time.Now reads the host clock",
 		"error from Engine.Snapshot is assigned to _",
+		"field Store.dirty is not referenced by Snapshot or Restore",
+		"os.WriteFile in durable package checkpoint is not crash-atomic",
+		"Advance is //potlint:shardsafe but writes package-level state advances",
+		"goroutine has no visible termination path",
 	} {
 		if !strings.Contains(stdout, wanted) {
 			t.Errorf("stdout missing %q:\n%s", wanted, stdout)
@@ -63,9 +67,87 @@ func TestFixtureJSON(t *testing.T) {
 			t.Errorf("diagnostic missing position: %+v", d)
 		}
 	}
-	for _, a := range []string{"maporder", "wallclock", "snaperr"} {
+	for _, a := range []string{"maporder", "wallclock", "snaperr", "snapfields", "atomicwrite", "shardsafe", "goroleak"} {
 		if !analyzers[a] {
 			t.Errorf("expected a %s finding in %v", a, diags)
+		}
+	}
+}
+
+// TestFixtureSARIF checks the -sarif mode end to end: a valid SARIF
+// 2.1.0 log with one rule per analyzer, repo-relative URIs, and one
+// result per finding (exit stays 1 so CI still fails the job).
+func TestFixtureSARIF(t *testing.T) {
+	code, stdout, stderr := runPotlint(t, "-C", "testdata/fixture", "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("stdout is not SARIF JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one 2.1.0 run, got version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "potlint" {
+		t.Errorf("driver name = %q, want potlint", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(lint.All()); got != want {
+		t.Errorf("rules = %d, want one per analyzer (%d)", got, want)
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for a fixture full of seeded bugs")
+	}
+	byRule := map[string]bool{}
+	for _, r := range run.Results {
+		byRule[r.RuleID] = true
+		if r.Level != "error" {
+			t.Errorf("result level = %q, want error", r.Level)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.Region.StartLine == 0 || loc.ArtifactLocation.URI == "" {
+			t.Errorf("result missing location: %+v", r)
+		}
+		if filepath.IsAbs(loc.ArtifactLocation.URI) {
+			t.Errorf("URI %q should be repo-relative for CI annotations", loc.ArtifactLocation.URI)
+		}
+	}
+	for _, a := range []string{"maporder", "atomicwrite", "snapfields", "shardsafe", "goroleak"} {
+		if !byRule[a] {
+			t.Errorf("expected a %s result in the SARIF log", a)
 		}
 	}
 }

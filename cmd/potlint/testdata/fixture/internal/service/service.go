@@ -1,0 +1,16 @@
+// Package service seeds the PR-10 goroutine-lifecycle bug: a daemon
+// worker with no termination path, launched in a package whose
+// goroutines must obey the drain lifecycle.
+package service
+
+type daemon struct {
+	jobs []int
+}
+
+func (d *daemon) start() {
+	go func() { // seeded: nothing can ever stop this worker
+		for {
+			d.jobs = append(d.jobs, len(d.jobs))
+		}
+	}()
+}

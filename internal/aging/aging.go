@@ -100,7 +100,7 @@ type CoreState struct {
 
 // Tracker accumulates per-core aging state.
 type Tracker struct {
-	params Params
+	params Params //potlint:nosnap configuration, rebuilt by the caller
 	cores  []coreAging
 	lastAt sim.Time
 }
@@ -175,6 +175,7 @@ func (t *Tracker) BeginAdvance(now sim.Time, states []CoreState) (float64, error
 // only the cores in the range.
 //
 //potlint:allocfree
+//potlint:shardsafe
 func (t *Tracker) AdvanceRange(dt float64, states []CoreState, from, to int) {
 	for i := from; i < to; i++ {
 		st := states[i]

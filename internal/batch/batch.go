@@ -313,6 +313,7 @@ func runWithWatchdog[T any](ctx context.Context, opts Options, i int, fn func(co
 		err    error
 	}
 	ch := make(chan outcome, 1)
+	//potlint:goroleak deliberate: a wedged cell leaks one goroutine rather than hanging the batch
 	go func() {
 		defer cancel()
 		r, err := runCell(cctx, i, fn)

@@ -154,6 +154,7 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	if err := tmp.Close(); err != nil {
 		return cleanup(err)
 	}
+	//potlint:rawwrite this IS the atomic commit: the synced temp file replaces path in one step
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return err

@@ -146,25 +146,25 @@ type System struct {
 	cfg Config
 
 	engine  *sim.Engine
-	rng     *sim.RNG
+	rng     *sim.RNG //potlint:nosnap stream factory; live streams snapshot themselves
 	source  arrivalSource
 	gen     *workload.Source  // non-nil when arrivals are generated
 	capture *workload.Capture // non-nil when recording
-	mapper  mapping.Policy
+	mapper  mapping.Policy    //potlint:nosnap stateless policy, rebuilt from Config
 	grid    *mapping.Grid
-	model   power.Model
+	model   power.Model //potlint:nosnap stateless model, rebuilt from Config
 	acct    *power.Accountant
 	budget  *power.Budget
 	capper  *dvfs.PIDCapper
-	gov     *dvfs.Governor
-	table   *dvfs.Table
+	gov     *dvfs.Governor //potlint:nosnap stateless governor, rebuilt from Config
+	table   *dvfs.Table    //potlint:nosnap operating-point table, rebuilt from Config
 	therm   *thermal.Grid
 	ager    *aging.Tracker
 	board   *faults.Board
-	txn     noc.TxnModel
-	memory  *mem.Subsystem // nil when the memory model is disabled
-	policy  scheduler.Policy
-	pots    *scheduler.POTS // nil for NoTest
+	txn     noc.TxnModel     //potlint:nosnap pure latency math, rebuilt from Config
+	memory  *mem.Subsystem   // nil when the memory model is disabled
+	policy  scheduler.Policy //potlint:nosnap stateless policy, rebuilt from Config
+	pots    *scheduler.POTS  // nil for NoTest
 	faultRn *sim.Stream
 
 	events *eventlog.Log
@@ -173,12 +173,13 @@ type System struct {
 	// guardPowerCapW is the chip-power runaway ceiling (well above any
 	// physically reachable draw, so only numeric blowups trip it).
 	guard          *guard.Checker
-	guardPowerCapW float64
+	guardPowerCapW float64 //potlint:nosnap derived from Config at assembly
 
-	// flit-mode co-simulation state (nil in txn mode).
+	// flit-mode co-simulation state (nil in txn mode). Snapshot rejects
+	// flit-mode runs outright, so none of it is checkpointed.
 	flitNet     *noc.Network
-	delivCursor int
-	msgWait     map[int]msgTarget
+	delivCursor int               //potlint:nosnap flit-mode only; Snapshot refuses flit runs
+	msgWait     map[int]msgTarget //potlint:nosnap flit-mode only; Snapshot refuses flit runs
 
 	cores   []coreRuntime
 	pending []*appRun // arrived, waiting to be mapped
@@ -187,9 +188,9 @@ type System struct {
 	// steady-state control loop allocates nothing: core snapshots handed
 	// to the scheduler, and the aging/power vectors handed to the
 	// physical models.
-	snapScratch  []scheduler.CoreSnapshot
-	stateScratch []aging.CoreState
-	powerScratch []float64
+	snapScratch  []scheduler.CoreSnapshot //potlint:nosnap per-epoch scratch, rewritten before every use
+	stateScratch []aging.CoreState        //potlint:nosnap per-epoch scratch, rewritten before every use
+	powerScratch []float64                //potlint:nosnap per-epoch scratch, rewritten before every use
 
 	// Sharded-epoch plan (zero-valued when cfg.Shards <= 1): a
 	// persistent worker group shared with the thermal grid, the fixed
@@ -200,10 +201,10 @@ type System struct {
 	// order-sensitive reduction stays serial, which is what makes the
 	// sharded epoch byte-identical to the serial one (shard_diff_test.go
 	// proves it end to end).
-	group      *shard.Group
-	coreBlocks []shard.Range
-	powerEvals []powerEval
-	agingDt    float64
+	group      *shard.Group  //potlint:nosnap worker pool, rebuilt at assembly
+	coreBlocks []shard.Range //potlint:nosnap fixed partition, rebuilt at assembly
+	powerEvals []powerEval   //potlint:nosnap per-epoch shard inputs, rewritten before every use
+	agingDt    float64       //potlint:nosnap per-epoch shard input, rewritten before every use
 	powerShard func(int)
 	agingShard func(int)
 
@@ -243,7 +244,7 @@ type System struct {
 	// onEpoch observes completed epochs (progress streaming).
 	stopReq   atomic.Bool
 	ctx       context.Context
-	ckptEvery int64
+	ckptEvery int64 //potlint:nosnap crash-safety wiring, reinstalled by CheckpointEvery
 	ckptSink  func(*Snapshot) error
 	onEpoch   func(epoch int64, now sim.Time)
 }
@@ -1023,6 +1024,7 @@ func (s *System) advance(now sim.Time, dt sim.Time) error {
 // run concurrently and the result is independent of the blocking.
 //
 //potlint:allocfree
+//potlint:shardsafe
 func (s *System) evalPowerRange(from, to int) {
 	for id := from; id < to; id++ {
 		ev := &s.powerEvals[id]

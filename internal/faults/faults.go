@@ -114,9 +114,9 @@ func (c InjectorConfig) Validate() error {
 
 // Board owns all fault state for a chip.
 type Board struct {
-	cfg    InjectorConfig
+	cfg    InjectorConfig //potlint:nosnap configuration, rebuilt by the caller
 	rng    *sim.Stream
-	byCore [][]*Fault
+	byCore [][]*Fault //potlint:nosnap per-core index, rebuilt from all by Restore
 	all    []*Fault
 	nextID int
 }

@@ -101,8 +101,8 @@ const MaxRecorded = 64
 // concurrent use (batch cells each own a checker, but the chaos harness
 // may poke one from a watchdog goroutine).
 type Checker struct {
-	policy Policy
-	log    io.Writer
+	policy Policy    //potlint:nosnap configuration, chosen at construction
+	log    io.Writer //potlint:nosnap log destination is process wiring, not state
 
 	mu       sync.Mutex
 	counts   map[string]int

@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"potsim/internal/lint"
+	"potsim/internal/lint/linttest"
+)
+
+func TestAtomicWriteDurablePackage(t *testing.T) {
+	linttest.Run(t, lint.AtomicWrite, "testdata/atomicwrite/durable", "potsim/internal/results")
+}
+
+func TestAtomicWriteCmdTailIsGated(t *testing.T) {
+	// cmd/dse shares the "dse" tail with internal/dse: the front end
+	// writes the same durable artifacts and is held to the same rule.
+	// (Wants name the results tail, so diagnostics are checked by hand.)
+	pkg := linttest.Load(t, "testdata/atomicwrite/durable", "potsim/cmd/dse")
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.AtomicWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("expected the 3 raw-write findings under cmd/dse, got %v", diags)
+	}
+}
+
+func TestAtomicWriteExemptPackage(t *testing.T) {
+	diags := linttest.Run(t, lint.AtomicWrite, "testdata/atomicwrite/exemptpkg", "potsim/internal/thermal")
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics outside durable packages, got %v", diags)
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak checks that goroutines launched in the long-lived runtime
+// packages (internal/service, internal/batch) have a visible
+// termination path. A daemon worker that nothing can stop outlives
+// drain and turns shutdown into a hang or a leak; PR 7's drain
+// discipline (stop intake, wait for in-flight, checkpoint, exit) only
+// holds if every goroutine is tied to it.
+//
+// A launch passes if the goroutine's body — the func literal, or the
+// same-package function it names, followed transitively through
+// same-package callees — contains any of: a channel receive (which is
+// how ctx.Done() and close-based stop signals are consumed), a range
+// over a channel (worker pools draining a job queue), a sync.WaitGroup
+// Done (registration with the drain group), or a sync.WaitGroup Wait
+// (the goroutine IS the drain path). Fire-and-forget goroutines with
+// none of these are flagged; a deliberate leak (the batch watchdog
+// trades a leaked attempt for liveness) carries `//potlint:goroleak
+// <why>` at the go statement.
+var GoroLeak = &Analyzer{
+	Name:     "goroleak",
+	Doc:      "flags goroutines without a termination path in service/batch",
+	Suppress: "goroleak",
+	Run:      runGoroLeak,
+}
+
+// goroLeakPkgs gates the check to the packages whose goroutines must
+// obey the drain lifecycle.
+var goroLeakPkgs = map[string]bool{
+	"service": true,
+	"batch":   true,
+}
+
+func runGoroLeak(pass *Pass) error {
+	if !goroLeakPkgs[pathTail(pass.Pkg.Path)] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroTerminates(info, decls, g.Call) {
+				pass.Reportf(g.Pos(), "goroutine has no visible termination path (channel receive, range over channel, or WaitGroup Done/Wait); tie it to the drain lifecycle or justify with //potlint:goroleak <why>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroTerminates resolves the goroutine body and looks for a
+// termination signal, transitively through same-package callees.
+func goroTerminates(info *types.Info, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) bool {
+	seen := make(map[ast.Node]bool)
+	var bodyHasSignal func(body ast.Node) bool
+	bodyHasSignal = func(body ast.Node) bool {
+		if body == nil || seen[body] {
+			return false
+		}
+		seen[body] = true
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					found = true // <-ch, including <-ctx.Done() in selects
+				}
+			case *ast.RangeStmt:
+				if _, ok := typeOf(info, n.X).Underlying().(*types.Chan); ok {
+					found = true
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, n); fn != nil {
+					if isWaitGroupMethod(fn, "Done") || isWaitGroupMethod(fn, "Wait") {
+						found = true
+						return false
+					}
+					if fd, ok := decls[fn]; ok && bodyHasSignal(fd.Body) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyHasSignal(lit.Body)
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			return bodyHasSignal(fd.Body)
+		}
+	}
+	// Cross-package or unresolvable launch target: nothing to inspect,
+	// so demand an explicit justification.
+	return false
+}
+
+// isWaitGroupMethod reports whether fn is sync.WaitGroup.<name>.
+func isWaitGroupMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type().String()
+	return strings.HasSuffix(t, "sync.WaitGroup") || t == "*sync.WaitGroup"
+}

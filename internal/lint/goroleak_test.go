@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"potsim/internal/lint"
+	"potsim/internal/lint/linttest"
+)
+
+func TestGoroLeakServicePackage(t *testing.T) {
+	linttest.Run(t, lint.GoroLeak, "testdata/goroleak/servicepkg", "potsim/internal/service")
+}
+
+func TestGoroLeakExemptPackage(t *testing.T) {
+	diags := linttest.Run(t, lint.GoroLeak, "testdata/goroleak/exemptpkg", "potsim/internal/core")
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics outside service/batch, got %v", diags)
+	}
+}

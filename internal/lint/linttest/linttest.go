@@ -13,7 +13,10 @@
 // Expectations: a comment `// want "re"` (one or more quoted regexps)
 // on a line means each regexp must match the message of a diagnostic
 // reported on that line; diagnostics on lines without a matching want,
-// and wants without a matching diagnostic, fail the test.
+// and wants without a matching diagnostic, fail the test. A regexp may
+// be preceded by `@<col>` to additionally pin the diagnostic's column:
+//
+//	var x, y = f(), g() // want @12 "first" @17 "second"
 package linttest
 
 import (
@@ -100,6 +103,7 @@ func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) []lint.Diagnost
 type want struct {
 	file string
 	line int
+	col  int // 0 means any column
 	re   *regexp.Regexp
 	hit  bool
 }
@@ -108,6 +112,15 @@ var wantRE = regexp.MustCompile(`// want (.*)$`)
 
 // checkWants matches diagnostics against // want comments.
 func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, failure := range matchWants(wants, diags) {
+		t.Error(failure)
+	}
+}
+
+// collectWants parses every // want comment in the package.
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
 	t.Helper()
 	var wants []*want
 	for _, f := range pkg.Files {
@@ -118,27 +131,38 @@ func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
 					continue
 				}
 				posn := pkg.Fset.Position(c.Pos())
-				for _, q := range splitQuoted(t, posn, m[1]) {
-					re, err := regexp.Compile(q)
+				for _, item := range splitQuoted(t, posn, m[1]) {
+					re, err := regexp.Compile(item.re)
 					if err != nil {
 						t.Fatalf("%s: bad want regexp: %v", posn, err)
 					}
-					wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re})
+					wants = append(wants, &want{file: posn.Filename, line: posn.Line, col: item.col, re: re})
 				}
 			}
 		}
 	}
+	return wants
+}
+
+// matchWants is the matching core, separated from testing.T so its
+// failure messages are themselves testable: each diagnostic must hit an
+// unconsumed want on its line (and column, when the want pins one), and
+// every want must be consumed. Returned strings are the failures, in
+// diagnostic order then want order.
+func matchWants(wants []*want, diags []lint.Diagnostic) []string {
+	var failures []string
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
-			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				(w.col == 0 || w.col == d.Pos.Column) && w.re.MatchString(d.Message) {
 				w.hit = true
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			t.Errorf("unexpected diagnostic: %s", d)
+			failures = append(failures, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}
 	}
 	sort.Slice(wants, func(i, j int) bool {
@@ -149,17 +173,46 @@ func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
 	})
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			if w.col != 0 {
+				failures = append(failures, fmt.Sprintf("%s:%d:%d: expected diagnostic matching %q, got none", w.file, w.line, w.col, w.re))
+				continue
+			}
+			failures = append(failures, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re))
 		}
 	}
+	return failures
 }
 
-// splitQuoted parses the sequence of quoted regexps after `// want`.
-func splitQuoted(t *testing.T, posn token.Position, s string) []string {
+// wantItem is one parsed expectation: a regexp, optionally pinned to a
+// column by a preceding @<col> token.
+type wantItem struct {
+	col int
+	re  string
+}
+
+// splitQuoted parses the sequence after `// want`: quoted regexps, each
+// optionally preceded by an @<col> column assertion.
+func splitQuoted(t *testing.T, posn token.Position, s string) []wantItem {
 	t.Helper()
-	var out []string
+	var out []wantItem
 	s = strings.TrimSpace(s)
 	for s != "" {
+		col := 0
+		if s[0] == '@' {
+			end := 1
+			for end < len(s) && s[end] >= '0' && s[end] <= '9' {
+				end++
+			}
+			n, err := strconv.Atoi(s[1:end])
+			if err != nil || n <= 0 {
+				t.Fatalf("%s: malformed column assertion %q", posn, s)
+			}
+			col = n
+			s = strings.TrimSpace(s[end:])
+			if s == "" {
+				t.Fatalf("%s: column assertion @%d without a regexp", posn, col)
+			}
+		}
 		if s[0] != '"' && s[0] != '`' {
 			t.Fatalf("%s: malformed want rest %q", posn, s)
 		}
@@ -167,7 +220,7 @@ func splitQuoted(t *testing.T, posn token.Position, s string) []string {
 		if err != nil {
 			t.Fatalf("%s: %v", posn, err)
 		}
-		out = append(out, q)
+		out = append(out, wantItem{col: col, re: q})
 		s = strings.TrimSpace(rest)
 	}
 	return out

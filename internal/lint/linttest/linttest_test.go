@@ -1,0 +1,120 @@
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"potsim/internal/lint"
+)
+
+// litspy reports every string literal; its diagnostics are dense and
+// positionally predictable, which is what the want-grammar tests need.
+var litspy = &lint.Analyzer{
+	Name: "litspy",
+	Doc:  "reports every string literal (test helper)",
+	Run: func(p *lint.Pass) error {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if bl, ok := n.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+					v, _ := strconv.Unquote(bl.Value)
+					p.Reportf(bl.Pos(), "lit %s", v)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestWantGrammar runs the full pipeline over the wants fixture:
+// multiple wants on one line, column-pinned wants, and a mix of both on
+// the same line must all match.
+func TestWantGrammar(t *testing.T) {
+	diags := Run(t, litspy, "testdata/wants", "potsim/internal/core")
+	if len(diags) != 7 {
+		t.Fatalf("litspy found %d literals, want 7: %v", len(diags), diags)
+	}
+}
+
+func diag(file string, line, col int, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: col},
+		Analyzer: "litspy",
+		Message:  msg,
+	}
+}
+
+func mustWant(t *testing.T, file string, line, col int, re string) *want {
+	t.Helper()
+	compiled, err := regexp.Compile(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &want{file: file, line: line, col: col, re: compiled}
+}
+
+// TestMatchWantsFailureMessages pins the failure strings the matcher
+// produces: unexpected diagnostics, unmatched wants (with and without a
+// pinned column), and a column mismatch producing both.
+func TestMatchWantsFailureMessages(t *testing.T) {
+	wants := []*want{
+		mustWant(t, "f.go", 3, 0, "lit a"),
+		mustWant(t, "f.go", 5, 9, "lit b"),
+	}
+	diags := []lint.Diagnostic{
+		diag("f.go", 3, 1, "lit a"),     // consumes want 1
+		diag("f.go", 5, 14, "lit b"),    // wrong column: does not consume want 2
+		diag("f.go", 9, 1, "lit extra"), // no want at all
+	}
+	failures := matchWants(wants, diags)
+	if len(failures) != 3 {
+		t.Fatalf("got %d failures, want 3: %v", len(failures), failures)
+	}
+	if !strings.Contains(failures[0], "unexpected diagnostic") || !strings.Contains(failures[0], "f.go:5:14") {
+		t.Errorf("column-mismatched diagnostic should be unexpected: %q", failures[0])
+	}
+	if !strings.Contains(failures[1], "unexpected diagnostic") || !strings.Contains(failures[1], "lit extra") {
+		t.Errorf("stray diagnostic should be unexpected: %q", failures[1])
+	}
+	if !strings.Contains(failures[2], "f.go:5:9: expected diagnostic matching") {
+		t.Errorf("unmatched column-pinned want should name file:line:col: %q", failures[2])
+	}
+}
+
+func TestMatchWantsCleanRun(t *testing.T) {
+	wants := []*want{
+		mustWant(t, "f.go", 3, 0, "lit a"),
+		mustWant(t, "f.go", 3, 0, "lit b"),
+	}
+	diags := []lint.Diagnostic{
+		diag("f.go", 3, 1, "lit a"),
+		diag("f.go", 3, 7, "lit b"),
+	}
+	if failures := matchWants(wants, diags); len(failures) != 0 {
+		t.Fatalf("clean run produced failures: %v", failures)
+	}
+}
+
+// TestSplitQuotedColumns pins the want-item grammar: bare regexps,
+// column-pinned regexps, raw strings, and interleavings.
+func TestSplitQuotedColumns(t *testing.T) {
+	items := splitQuoted(t, token.Position{}, "\"plain\" @7 \"pinned\" `raw.*` @12 `both`")
+	expect := []wantItem{
+		{col: 0, re: "plain"},
+		{col: 7, re: "pinned"},
+		{col: 0, re: "raw.*"},
+		{col: 12, re: "both"},
+	}
+	if len(items) != len(expect) {
+		t.Fatalf("got %d items, want %d: %v", len(items), len(expect), items)
+	}
+	for i, it := range items {
+		if it != expect[i] {
+			t.Errorf("item %d = %+v, want %+v", i, it, expect[i])
+		}
+	}
+}

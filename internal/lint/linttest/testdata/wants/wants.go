@@ -1,0 +1,11 @@
+// Package wants exercises the want-comment grammar against the litspy
+// test analyzer, which reports "lit <value>" at every string literal.
+package wants
+
+var single = "s1" // want "lit s1"
+
+var a, b = "m1", "m2" // want "lit m1" "lit m2"
+
+var p, q = "c1", "c2" // want @12 "lit c1" @18 "lit c2"
+
+var mixed, more = "x1", "x2" // want "lit x2" @19 "lit x1"

@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardSafe checks functions annotated `//potlint:shardsafe` (in the
+// doc comment) against the sharded-execution contract from PR 6: a
+// shard worker may read anything but may write only disjoint indexed
+// slots, so it must not write package-level state, must not write
+// shared struct fields except through an index-derived path, must not
+// write shared maps (concurrent map writes panic; there is no
+// disjoint-slot discipline for maps), and must not send on channels or
+// start goroutines. It may call only callees that are themselves
+// shardsafe: builtins, pure math, other annotated or provably-pure
+// same-package functions, and the small cross-package contract table
+// below (vet mode sees only export data for dependencies, so
+// cross-package safety is declared, not inferred).
+//
+// The index-derived carve-out is the heart of the contract: writes
+// whose base passes through an IndexExpr (s.cores[i].x = v, or
+// c := &t.cores[i]; c.x = v) are the disjoint-slot mechanism and are
+// allowed; writes that bottom out at the receiver, a parameter, or a
+// package variable without an index are shared-state writes.
+//
+// `//potlint:unshared <why>` suppresses one site for cases the
+// analyzer cannot see are private (e.g. a callee guaranteed per-shard
+// by construction).
+var ShardSafe = &Analyzer{
+	Name:     "shardsafe",
+	Doc:      "enforces the shard contract in //potlint:shardsafe functions",
+	Suppress: "unshared",
+	Run:      runShardSafe,
+}
+
+// shardSafePkgs are dependency packages whose functions are pure by
+// construction (math on values, no shared state).
+var shardSafePkgs = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+// shardSafeCallees is the cross-package shard contract: callees whose
+// bodies the analyzer cannot (vet mode) or will not (interfaces) see,
+// declared safe because they only read or only write the caller's
+// disjoint slot. Keys are pathTail(pkg).[Recv.]Name.
+var shardSafeCallees = map[string]bool{
+	// power.Model implementations compute per-core power from value
+	// inputs; the accountant setters are per-slot slice writes
+	// (annotated shardsafe in their own package, belt and braces).
+	"power.Model.IdlePower":        true,
+	"power.Model.Core":             true,
+	"power.Accountant.SetWorkload": true,
+	"power.Accountant.SetTest":     true,
+	"power.Breakdown.Total":        true,
+	"power.Breakdown.Add":          true,
+	// tech operating-point math is pure value computation.
+	"tech.OperatingPoint.Scale": true,
+}
+
+func runShardSafe(pass *Pass) error {
+	c := &shardChecker{pass: pass, verdicts: make(map[*types.Func]string)}
+	c.indexDecls()
+	for _, fd := range c.funcs {
+		if fd.Doc != nil && docHasDirective(fd.Doc, "shardsafe") {
+			if fd.Body == nil {
+				pass.Reportf(fd.Pos(), "//potlint:shardsafe on a bodyless declaration has no effect")
+				continue
+			}
+			for _, v := range c.violations(fd) {
+				pass.Reportf(v.pos, "%s is //potlint:shardsafe but %s; restructure or justify with //potlint:unshared <why>", fd.Name.Name, v.what)
+			}
+		}
+	}
+	return nil
+}
+
+type shardViolation struct {
+	pos  token.Pos
+	what string
+}
+
+type shardChecker struct {
+	pass  *Pass
+	funcs []*ast.FuncDecl
+	decls map[*types.Func]*ast.FuncDecl
+	// verdicts memoizes same-package callee purity probes: "" means
+	// shard-pure, anything else is the first violation, used in the
+	// call-site diagnostic. A func present while being probed maps to
+	// "" (optimistic on recursion).
+	verdicts map[*types.Func]string
+}
+
+func (c *shardChecker) indexDecls() {
+	info := c.pass.Pkg.Info
+	c.decls = make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range c.pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				c.funcs = append(c.funcs, fd)
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					c.decls[fn] = fd
+				}
+			}
+		}
+	}
+}
+
+// violations walks one annotated (or probed) function body and returns
+// every shard-contract breach.
+func (c *shardChecker) violations(fd *ast.FuncDecl) []shardViolation {
+	info := c.pass.Pkg.Info
+	var out []shardViolation
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, shardViolation{pos: pos, what: fmt.Sprintf(format, args...)})
+	}
+
+	// Signature objects: the receiver and parameters alias state shared
+	// across shards; other locals are private to this invocation.
+	sig := make(map[types.Object]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					sig[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+
+	inFunc := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= fd.Pos() && obj.Pos() < fd.End()
+	}
+
+	checkWrite := func(lhs ast.Expr) {
+		root, viaIndex, isMap := writeRoot(info, lhs)
+		if isMap {
+			// Map writes: allowed only for maps built inside this call.
+			if id, ok := root.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); inFunc(obj) && !sig[obj] {
+					return
+				}
+			}
+			report(lhs.Pos(), "writes shared map %s (no disjoint-slot discipline exists for maps)", exprString(lhs))
+			return
+		}
+		if viaIndex {
+			return // disjoint-slot write, the sanctioned mechanism
+		}
+		switch root := root.(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(root)
+			if obj == nil {
+				return
+			}
+			switch {
+			case sig[obj]:
+				if root == lhs {
+					return // rebinding a parameter ident is local
+				}
+				report(lhs.Pos(), "writes shared field %s through the receiver or a parameter without an index", exprString(lhs))
+			case !inFunc(obj):
+				report(lhs.Pos(), "writes package-level state %s", exprString(lhs))
+			}
+		default:
+			// Root is a call result or other expression; writing
+			// through it cannot be tied to a private slot.
+			if _, ok := lhs.(*ast.Ident); !ok {
+				report(lhs.Pos(), "writes through %s, which the shard contract cannot prove private", exprString(lhs))
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X)
+		case *ast.SendStmt:
+			report(n.Pos(), "sends on a channel (cross-shard communication belongs in the barrier)")
+		case *ast.GoStmt:
+			report(n.Pos(), "starts a goroutine (shard fan-out is the group's job)")
+		case *ast.CallExpr:
+			c.checkCall(fd, n, sig, inFunc, report)
+		}
+		return true
+	})
+	return out
+}
+
+func (c *shardChecker) checkCall(fd *ast.FuncDecl, call *ast.CallExpr, sig map[types.Object]bool, inFunc func(types.Object) bool, report func(token.Pos, string, ...any)) {
+	info := c.pass.Pkg.Info
+	// Type conversions are value operations.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	if name, ok := builtinName(info, call); ok {
+		switch name {
+		case "close":
+			report(call.Pos(), "closes a channel")
+		case "delete":
+			if len(call.Args) == 2 {
+				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); inFunc(obj) && !sig[obj] {
+						return
+					}
+				}
+				report(call.Pos(), "deletes from shared map %s", exprString(call.Args[0]))
+			}
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		// Function values: a local closure's body is part of fd.Body
+		// and already walked; a parameter or field func is opaque.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); inFunc(obj) && !sig[obj] {
+				return
+			}
+		}
+		report(call.Pos(), "calls function value %s, whose shard safety cannot be checked", callName(call))
+		return
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return // universe scope (error.Error)
+	}
+	if pkg == c.pass.Pkg.Types {
+		if callee, ok := c.decls[fn]; ok {
+			if callee.Doc != nil && docHasDirective(callee.Doc, "shardsafe") {
+				return
+			}
+			if why := c.probe(fn, callee); why != "" {
+				report(call.Pos(), "calls %s, which %s", fn.Name(), why)
+			}
+			return
+		}
+		report(call.Pos(), "calls %s, declared without analyzable source in this package", fn.Name())
+		return
+	}
+	if shardSafePkgs[pkg.Path()] {
+		return
+	}
+	key := pathTail(pkg.Path()) + "."
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		key += recvTypeName(recv.Type()) + "."
+	}
+	key += fn.Name()
+	if shardSafeCallees[key] {
+		return
+	}
+	report(call.Pos(), "calls %s, which is outside the shard contract (add it to the contract table or annotate/justify)", key)
+}
+
+// probe decides whether an unannotated same-package callee is
+// shard-pure, memoizing the verdict (the first violation's text).
+func (c *shardChecker) probe(fn *types.Func, fd *ast.FuncDecl) string {
+	if why, ok := c.verdicts[fn]; ok {
+		return why
+	}
+	if fd.Body == nil {
+		c.verdicts[fn] = "has no body to check"
+		return c.verdicts[fn]
+	}
+	c.verdicts[fn] = "" // optimistic while in progress: recursion is fine
+	vs := c.violations(fd)
+	if len(vs) > 0 {
+		c.verdicts[fn] = vs[0].what
+	}
+	return c.verdicts[fn]
+}
+
+// writeRoot unwraps an assignment target to its root expression,
+// reporting whether the path passed through an index (the disjoint-slot
+// carve-out) and whether the immediate write is a map store.
+func writeRoot(info *types.Info, e ast.Expr) (root ast.Expr, viaIndex, isMap bool) {
+	if ix, ok := ast.Unparen(e).(*ast.IndexExpr); ok {
+		if _, ok := typeOf(info, ix.X).Underlying().(*types.Map); ok {
+			r, _, _ := writeRoot(info, ix.X)
+			return r, false, true
+		}
+	}
+	cur := ast.Unparen(e)
+	for {
+		switch x := cur.(type) {
+		case *ast.SelectorExpr:
+			cur = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			cur = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			viaIndex = true
+			cur = ast.Unparen(x.X)
+		default:
+			return cur, viaIndex, false
+		}
+	}
+}
+
+// exprString renders a short source-ish form of an expression for
+// diagnostics (idents and selector chains; anything else is elided).
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"potsim/internal/lint"
+	"potsim/internal/lint/linttest"
+)
+
+func TestShardSafe(t *testing.T) {
+	linttest.Run(t, lint.ShardSafe, "testdata/shardsafe/shardpkg", "potsim/internal/thermal")
+}

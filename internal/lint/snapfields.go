@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapFields checks snapshot completeness: for every named struct type
+// in an internal package that has a Snapshot/Restore pair, every struct
+// field must be referenced by both sides of the pair, or carry a
+// justified `//potlint:nosnap` directive on its declaration (or the
+// line above it). This is the "added a field, forgot to checkpoint it"
+// bug class — it silently breaks kill-anywhere resume byte-identity and
+// no runtime test catches it until a resume diverges.
+//
+// A pair is a Snapshot method plus either a Restore method on the same
+// type or a package-level Restore<Type> constructor (the sbst.Exec
+// shape). Field references are collected transitively through
+// same-package functions and methods called from either side, so state
+// that travels via helper accessors (eventlog's Events/Enabled) still
+// counts. Composite-literal keys count as references, covering
+// constructor-style restores.
+//
+// Fields that cannot meaningfully be serialized are exempt
+// automatically: func- and channel-typed fields, and fields whose type
+// lives in sync, sync/atomic, or context (locks, wait groups, stop
+// flags, and context plumbing are runtime wiring, never state).
+var SnapFields = &Analyzer{
+	Name:     "snapfields",
+	Doc:      "flags struct fields missing from a Snapshot/Restore pair",
+	Suppress: "nosnap",
+	Run:      runSnapFields,
+}
+
+func runSnapFields(pass *Pass) error {
+	if !isInternal(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+
+	// Index every function declaration in the package by its object, so
+	// reference collection can chase same-package calls.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var funcs []*ast.FuncDecl
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			funcs = append(funcs, fd)
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	// Find Snapshot/Restore pairs among named struct types.
+	type pair struct {
+		named         *types.Named
+		snap, restore *ast.FuncDecl
+	}
+	snapshots := make(map[*types.Named]*ast.FuncDecl)
+	restores := make(map[*types.Named]*ast.FuncDecl)
+	for _, fd := range funcs {
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			named := recvNamed(info, fd)
+			if named == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "Snapshot":
+				snapshots[named] = fd
+			case "Restore":
+				restores[named] = fd
+			}
+			continue
+		}
+		// Package-level Restore<Type> constructor.
+		if n := len(fd.Name.Name); n > len("Restore") && fd.Name.Name[:len("Restore")] == "Restore" {
+			if obj := pass.Pkg.Types.Scope().Lookup(fd.Name.Name[len("Restore"):]); obj != nil {
+				if tn, ok := obj.(*types.TypeName); ok {
+					if named, ok := tn.Type().(*types.Named); ok {
+						if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+							restores[named] = fd
+						}
+					}
+				}
+			}
+		}
+	}
+	var pairs []pair
+	for named, snap := range snapshots {
+		if rest, ok := restores[named]; ok {
+			pairs = append(pairs, pair{named: named, snap: snap, restore: rest})
+		}
+	}
+
+	for _, pr := range pairs {
+		st, ok := pr.named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fieldIdx := make(map[*types.Var]int, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fieldIdx[st.Field(i)] = i
+		}
+		snapRefs := fieldRefs(info, decls, pr.snap, pr.named, fieldIdx)
+		restRefs := fieldRefs(info, decls, pr.restore, pr.named, fieldIdx)
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if fld.Name() == "_" || snapExempt(fld.Type()) {
+				continue
+			}
+			inSnap, inRest := snapRefs[i], restRefs[i]
+			if inSnap && inRest {
+				continue
+			}
+			var missing string
+			switch {
+			case !inSnap && !inRest:
+				missing = "Snapshot or Restore"
+			case !inSnap:
+				missing = "Snapshot"
+			default:
+				missing = "Restore"
+			}
+			pass.Reportf(fld.Pos(), "field %s.%s is not referenced by %s; checkpoint it or mark it //potlint:nosnap <why>",
+				pr.named.Obj().Name(), fld.Name(), missing)
+		}
+	}
+	return nil
+}
+
+// recvNamed resolves a method's receiver base type within this package.
+func recvNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fieldRefs returns the set of field indices of target's struct that
+// the function references, transitively through same-package callees.
+// Promoted selections count toward the embedded field they pass
+// through, and composite-literal keys count as references.
+func fieldRefs(info *types.Info, decls map[*types.Func]*ast.FuncDecl, root *ast.FuncDecl, target *types.Named, fieldIdx map[*types.Var]int) map[int]bool {
+	refs := make(map[int]bool)
+	seen := map[*ast.FuncDecl]bool{}
+	work := []*ast.FuncDecl{root}
+	for len(work) > 0 {
+		fd := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[fd] {
+			continue
+		}
+		seen[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				// Direct field uses: selector leaves and struct
+				// composite-literal keys both resolve the field object.
+				if v, ok := info.Uses[n].(*types.Var); ok {
+					if i, ok := fieldIdx[v]; ok {
+						refs[i] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				// Promoted fields: the leaf object belongs to the
+				// embedded struct, so credit the top-level field the
+				// selection path enters through.
+				if sel := info.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					t := sel.Recv()
+					if p, ok := t.(*types.Pointer); ok {
+						t = p.Elem()
+					}
+					if named, ok := t.(*types.Named); ok && named.Obj() == target.Obj() {
+						refs[sel.Index()[0]] = true
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, n); fn != nil {
+					if callee, ok := decls[fn]; ok && !seen[callee] {
+						work = append(work, callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+// snapExempt reports whether a field's type is runtime wiring that a
+// snapshot can never carry: funcs, channels, and the sync / sync
+// atomic / context families (locks, wait groups, stop flags).
+func snapExempt(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Signature, *types.Chan:
+		return true
+	case *types.Pointer:
+		return snapExempt(u.Elem())
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		switch named.Obj().Pkg().Path() {
+		case "sync", "sync/atomic", "context":
+			return true
+		}
+	}
+	return false
+}

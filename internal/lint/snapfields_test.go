@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"potsim/internal/lint"
+	"potsim/internal/lint/linttest"
+)
+
+func TestSnapFieldsInternalPackage(t *testing.T) {
+	linttest.Run(t, lint.SnapFields, "testdata/snapfields/simpkg", "potsim/internal/sim")
+}
+
+func TestSnapFieldsExemptOutsideInternal(t *testing.T) {
+	diags := linttest.Run(t, lint.SnapFields, "testdata/snapfields/exemptpath", "potsim/cmd/potsim")
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics outside internal/, got %v", diags)
+	}
+}
+
+// A //potlint:nosnap with no justification must not suppress: the
+// field stays reported and the directive itself is complained about.
+func TestSnapFieldsBareDirectiveDoesNotSuppress(t *testing.T) {
+	pkg := linttest.Load(t, "testdata/snapfields/nojustify", "potsim/internal/core")
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.SnapFields})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("expected 2 diagnostics (complaint + finding), got %d: %v", len(diags), diags)
+	}
+	complaint, finding := diags[0], diags[1]
+	if !strings.Contains(complaint.Message, "requires a one-line justification") {
+		t.Errorf("first diagnostic should demand a justification, got %q", complaint.Message)
+	}
+	if !strings.Contains(finding.Message, "field Box.scratch is not referenced by Snapshot or Restore") {
+		t.Errorf("second diagnostic should be the unsuppressed field, got %q", finding.Message)
+	}
+	if complaint.Pos.Line+1 != finding.Pos.Line {
+		t.Errorf("complaint should sit on the directive line directly above the field (lines %d and %d)",
+			complaint.Pos.Line, finding.Pos.Line)
+	}
+}

@@ -1,0 +1,42 @@
+// Package durable is analyzed under potsim/internal/results, a
+// durability-bearing package, so raw os file primitives are flagged.
+package durable
+
+import "os"
+
+func persist(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `os.WriteFile in durable package results is not crash-atomic`
+}
+
+func open(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create in durable package results truncates in place`
+}
+
+func swap(a, b string) error {
+	return os.Rename(a, b) // want `raw os.Rename in durable package results bypasses the fsync discipline`
+}
+
+// ---- allowed shapes ----
+
+func appendLog(path string, b []byte) error {
+	// O_APPEND journaling is a sanctioned durability API.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func scratch(dir string) (*os.File, error) {
+	// Temp files are the first half of write-then-rename.
+	return os.CreateTemp(dir, "seg-*")
+}
+
+func justified(a, b string) error {
+	//potlint:rawwrite this IS the atomic commit: temp file was fsynced above
+	return os.Rename(a, b)
+}

@@ -1,0 +1,9 @@
+// Package exemptpkg is analyzed under potsim/internal/thermal, which
+// bears no durable artifacts, so raw writes pass.
+package exemptpkg
+
+import "os"
+
+func dump(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

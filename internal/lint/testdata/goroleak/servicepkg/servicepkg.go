@@ -1,0 +1,104 @@
+// Package servicepkg is analyzed under potsim/internal/service, where
+// every goroutine must have a visible termination path.
+package servicepkg
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+type server struct {
+	jobs    chan int
+	drainCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// ---- allowed shapes ----
+
+func (s *server) startWorkers(ctx context.Context) {
+	// Named same-package method: termination is found transitively.
+	go s.worker()
+
+	// Select on ctx.Done is a channel receive.
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-s.jobs:
+				fmt.Sprintln(j)
+			}
+		}
+	}()
+
+	// Ranging over a channel terminates when the channel closes.
+	go func() {
+		for j := range s.jobs {
+			fmt.Sprintln(j)
+		}
+	}()
+
+	// Registration with the drain WaitGroup.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		fmt.Sprintln("one-shot")
+	}()
+}
+
+func (s *server) worker() {
+	for {
+		select {
+		case <-s.drainCh:
+			return
+		case j := <-s.jobs:
+			fmt.Sprintln(j)
+		}
+	}
+}
+
+func (s *server) drain(done chan struct{}) {
+	// The goroutine that IS the drain path: waits, then signals.
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	<-done
+}
+
+// ---- flagged shapes ----
+
+func (s *server) fireAndForget() {
+	go func() { // want `goroutine has no visible termination path`
+		fmt.Sprintln("nobody can stop me")
+	}()
+}
+
+func (s *server) sendOnly(ch chan int) {
+	go func() { // want `goroutine has no visible termination path`
+		ch <- 1 // blocks forever if the receiver is gone
+	}()
+}
+
+func (s *server) leakyNamed() {
+	go spin() // want `goroutine has no visible termination path`
+}
+
+func spin() {
+	for {
+		fmt.Sprintln("spinning")
+	}
+}
+
+func (s *server) unresolvable(f func()) {
+	// A function value cannot be inspected: demand a justification.
+	go f() // want `goroutine has no visible termination path`
+}
+
+func (s *server) watchdog(run func() error, ch chan error) {
+	//potlint:goroleak deliberate leak: a wedged attempt must not block batch liveness
+	go func() {
+		ch <- run()
+	}()
+}

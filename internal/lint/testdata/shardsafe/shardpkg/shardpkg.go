@@ -1,0 +1,93 @@
+// Package shardpkg exercises the shard contract: annotated functions
+// may write only invocation-private or index-derived state and may call
+// only shardsafe/pure callees.
+package shardpkg
+
+import (
+	"fmt"
+	"math"
+)
+
+var hits int
+
+type tracker struct {
+	cores  []cell
+	peak   float64
+	counts map[string]int
+	ch     chan int
+	params config
+}
+
+type cell struct {
+	stress float64
+	age    float64
+}
+
+type config struct{ k float64 }
+
+// stencil is the well-behaved kernel: indexed writes into the shared
+// slice, index-derived pointer writes, locals, local closures, pure
+// math, and calls to annotated or provably-pure same-package helpers.
+//
+//potlint:shardsafe
+func stencil(t *tracker, lo, hi int) {
+	peak := math.Inf(-1)
+	scale := func(x float64) float64 { return x * t.params.k }
+	for i := lo; i < hi; i++ {
+		c := &t.cores[i]
+		c.stress += accel(c.age)
+		t.cores[i].age = scale(c.age)
+		if c.stress > peak {
+			peak = c.stress
+		}
+	}
+	local := map[string]int{}
+	local["peak"] = int(peak)
+	delete(local, "peak")
+	helper(t, lo)
+}
+
+// accel is pure value math; callable from shardsafe code unannotated.
+func accel(age float64) float64 { return math.Exp(-age) }
+
+// helper is itself annotated, so callers trust it outright.
+//
+//potlint:shardsafe
+func helper(t *tracker, i int) {
+	t.cores[i].stress = math.Max(t.cores[i].stress, 0)
+}
+
+// bumpShared is NOT shard-safe: probing it from a shardsafe caller
+// reports at the call site.
+func bumpShared(t *tracker) { t.peak++ }
+
+//potlint:shardsafe
+func violations(t *tracker, other *tracker, i int) {
+	hits++                // want `violations is //potlint:shardsafe but writes package-level state hits`
+	t.peak = 1            // want `writes shared field t.peak through the receiver or a parameter without an index`
+	other.peak = 2        // want `writes shared field other.peak through the receiver or a parameter without an index`
+	t.counts["x"] = 1     // want `writes shared map t.counts`
+	delete(t.counts, "x") // want `deletes from shared map t.counts`
+	t.ch <- i             // want `sends on a channel`
+	close(t.ch)           // want `closes a channel`
+	go accel(1)           // want `starts a goroutine`
+	bumpShared(t)         // want `calls bumpShared, which writes shared field t.peak`
+	fmt.Sprintln(i)       // want `calls fmt.Sprintln, which is outside the shard contract`
+}
+
+//potlint:shardsafe
+func justified(t *tracker, done func()) {
+	//potlint:unshared the callback is constructed per-shard by the group
+	done()
+}
+
+//potlint:shardsafe
+func opaqueCall(t *tracker, fn func()) {
+	fn() // want `calls function value fn, whose shard safety cannot be checked`
+}
+
+// unannotated functions are not checked at all.
+func unchecked(t *tracker) {
+	hits++
+	t.peak = 3
+}

@@ -1,0 +1,14 @@
+// Package exemptpath is analyzed under potsim/cmd/potsim — outside the
+// internal tree — so its incomplete pair draws no diagnostics.
+package exemptpath
+
+type Tool struct {
+	cursor int
+	dirty  bool // absent from both sides; exempt packages are not checked
+}
+
+// ToolState is the serialized form.
+type ToolState struct{ Cursor int }
+
+func (t *Tool) Snapshot() ToolState  { return ToolState{Cursor: t.cursor} }
+func (t *Tool) Restore(st ToolState) { t.cursor = st.Cursor }

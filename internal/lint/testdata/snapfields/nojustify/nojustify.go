@@ -1,0 +1,17 @@
+// Package nojustify exercises the bare-directive rule for nosnap: a
+// //potlint:nosnap with no justification must not suppress, and is
+// itself reported. Expectations live in the test file (the complaint
+// lands on the directive's own line, where a want comment cannot sit).
+package nojustify
+
+type Box struct {
+	val int
+	//potlint:nosnap
+	scratch []int
+}
+
+// BoxState is the serialized form.
+type BoxState struct{ Val int }
+
+func (b *Box) Snapshot() BoxState  { return BoxState{Val: b.val} }
+func (b *Box) Restore(st BoxState) { b.val = st.Val }

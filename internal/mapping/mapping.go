@@ -28,6 +28,7 @@ type CoreView struct {
 
 // Grid is the mapper's view of the chip.
 type Grid struct {
+	//potlint:nosnap geometry is configuration; Restore validates the core count
 	Width, Height int
 	Cores         []CoreView // row-major, index = y*Width + x
 
@@ -36,11 +37,11 @@ type Grid struct {
 	// allocates nothing. visited is a stamped set (visited[i] == stamp
 	// means seen this search), sparing a per-search clear; regionA/B
 	// double-buffer candidate regions for best-so-far policies.
-	stamp   int
-	visited []int
-	queue   []int
-	regionA []int
-	regionB []int
+	stamp   int   //potlint:nosnap BFS scratch; beginSearch re-stamps before every use
+	visited []int //potlint:nosnap BFS scratch; beginSearch re-stamps before every use
+	queue   []int //potlint:nosnap BFS scratch, rewritten before every use
+	regionA []int //potlint:nosnap BFS scratch, rewritten before every use
+	regionB []int //potlint:nosnap BFS scratch, rewritten before every use
 }
 
 // NewGrid allocates an all-free grid.

@@ -71,8 +71,8 @@ func (c Config) Validate() error {
 // memory stalls in the next epoch (one-epoch feedback lag, like the power
 // capper).
 type Subsystem struct {
-	cfg     Config
-	nearest []int     // core index -> controller index
+	cfg     Config    //potlint:nosnap configuration, rebuilt by the caller
+	nearest []int     //potlint:nosnap controller map, derived from Config geometry
 	demand  []float64 // accumulating this epoch, memory cycles/s
 	rho     []float64 // utilisation from the previous epoch
 	peakRho float64

@@ -58,7 +58,7 @@ func (m Model) IdlePower(v, tK float64) Breakdown {
 // are split into workload and test components so the evaluation can report
 // "power dedicated to testing" directly (claim C3).
 type Accountant struct {
-	cores    int
+	cores    int //potlint:nosnap core count is configuration; Restore checks it
 	workload []Breakdown
 	test     []Breakdown
 
@@ -67,7 +67,7 @@ type Accountant struct {
 	lastAt      sim.Time
 
 	trace       []TracePoint
-	traceEvery  sim.Time
+	traceEvery  sim.Time //potlint:nosnap sampling cadence is configuration
 	lastTraceAt sim.Time
 
 	peakW    float64
@@ -109,10 +109,14 @@ func NewAccountant(cores int, traceEvery sim.Time) (*Accountant, error) {
 // (the sharded epoch path does). The chip-level sums (WorkloadPower,
 // TestPower, Advance) stay strictly serial, in index order, so the
 // floating-point reductions are byte-identical at any shard count.
+//
+//potlint:shardsafe
 func (a *Accountant) SetWorkload(id int, b Breakdown) { a.workload[id] = b }
 
 // SetTest records the test-routine power of core id; zero when no test
 // runs there. Shard-safe per slot like SetWorkload.
+//
+//potlint:shardsafe
 func (a *Accountant) SetTest(id int, b Breakdown) { a.test[id] = b }
 
 // WorkloadPower returns the current chip workload power in watts.

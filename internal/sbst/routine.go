@@ -179,8 +179,8 @@ type Exec struct {
 	gen       *ResponseGenerator
 	// accumulated coverage of completed phases, per fault class, in
 	// miss-product form.
-	coveredSA    float64
-	coveredDelay float64
+	coveredSA    float64 //potlint:nosnap derived: covered = 1 - miss, recomputed by RestoreExec
+	coveredDelay float64 //potlint:nosnap derived: covered = 1 - miss, recomputed by RestoreExec
 	missSA       float64
 	missDelay    float64
 	doneWords    int

@@ -92,12 +92,12 @@ func DefaultOptions() Options {
 
 // POTS is the proposed power-aware online test scheduler.
 type POTS struct {
-	name     string
-	opts     Options
-	model    power.Model
-	table    *dvfs.Table
-	crit     aging.CriticalityModel
-	routines []sbst.Routine
+	name     string                 //potlint:nosnap display name, fixed at construction
+	opts     Options                //potlint:nosnap configuration, rebuilt by the caller
+	model    power.Model            //potlint:nosnap stateless model, rebuilt by the caller
+	table    *dvfs.Table            //potlint:nosnap operating-point table, rebuilt by the caller
+	crit     aging.CriticalityModel //potlint:nosnap stateless model, rebuilt by the caller
+	routines []sbst.Routine         //potlint:nosnap routine library is configuration
 
 	lastTest  []sim.Time
 	nextLevel []int
@@ -108,10 +108,10 @@ type POTS struct {
 	// loop schedules without allocating: candidate and decision buffers
 	// plus pre-allocated sort.Interface adapters (a heap-held pointer
 	// passed to sort.Sort does not box).
-	cands   []planCand
-	plan    []Decision
-	urgSort urgSorter
-	rrSort  rrSorter
+	cands   []planCand //potlint:nosnap per-epoch plan scratch, rewritten before every use
+	plan    []Decision //potlint:nosnap per-epoch plan scratch, rewritten before every use
+	urgSort urgSorter  //potlint:nosnap pre-allocated sort adapter over cands
+	rrSort  rrSorter   //potlint:nosnap pre-allocated sort adapter over cands
 
 	stats Stats
 }

@@ -74,12 +74,12 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
-	stopped bool
+	queue   eventQueue //potlint:nosnap pending events hold closures; owners re-post them on resume
+	stopped bool       //potlint:nosnap stop latch is runtime wiring; a restored engine starts runnable
 	fired   uint64
 	// free recycles fired/cancelled event slots so a steady-state event
 	// loop (periodic ticks, arrival chains) schedules without allocating.
-	free []*event
+	free []*event //potlint:nosnap recycling pool, content-free by definition
 }
 
 // NewEngine returns an engine with its clock at zero.

@@ -48,9 +48,9 @@ func DefaultConfig(width, height int) Config {
 
 // Grid integrates core temperatures over simulated time.
 type Grid struct {
-	cfg     Config
+	cfg     Config //potlint:nosnap configuration, rebuilt by the caller
 	tempK   []float64
-	scratch []float64
+	scratch []float64 //potlint:nosnap stencil double-buffer, rewritten before every use
 	lastAt  sim.Time
 	peakK   float64
 
@@ -59,11 +59,11 @@ type Grid struct {
 	// of rows into scratch, so shards never touch the same slot; peaks
 	// land in per-shard cells and are folded in shard order after the
 	// barrier. All fields are nil/unused on the serial path.
-	group      *shard.Group
-	rowBlocks  []shard.Range
-	shardPeaks []float64
-	curDt      float64
-	curPower   []float64
+	group      *shard.Group  //potlint:nosnap worker pool, reinstalled by Shard
+	rowBlocks  []shard.Range //potlint:nosnap fixed partition, reinstalled by Shard
+	shardPeaks []float64     //potlint:nosnap per-step shard cells, rewritten before every use
+	curDt      float64       //potlint:nosnap per-step shard input, rewritten before every use
+	curPower   []float64     //potlint:nosnap per-step shard input, rewritten before every use
 	stepShard  func(int)
 }
 
@@ -227,6 +227,7 @@ func (g *Grid) step(dt float64, powerW []float64) float64 {
 // therefore independent of how rows are blocked across shards.
 //
 //potlint:allocfree
+//potlint:shardsafe
 func (g *Grid) stepRows(dt float64, powerW []float64, y0, y1 int) float64 {
 	w, h := g.cfg.Width, g.cfg.Height
 	gv := 1 / g.cfg.RVertical

@@ -189,14 +189,14 @@ func (b Burstiness) Validate() error {
 // Source produces the arrival stream: a Poisson process over a graph mix,
 // optionally modulated by a two-phase burst process.
 type Source struct {
-	mix      Mix
-	embedded []*Graph
+	mix      Mix      //potlint:nosnap configuration, rebuilt by the caller
+	embedded []*Graph //potlint:nosnap graph library, derived from mix
 	rng      *sim.Stream
-	meanIAT  sim.Time
+	meanIAT  sim.Time //potlint:nosnap configuration, rebuilt by the caller
 	seq      int
 	nextAt   sim.Time
 
-	burst      Burstiness
+	burst      Burstiness //potlint:nosnap configuration, rebuilt by the caller
 	inBurst    bool
 	phaseEndAt sim.Time
 }

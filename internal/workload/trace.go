@@ -67,7 +67,7 @@ func ReadTrace(r io.Reader) ([]TraceEntry, error) {
 // Replay feeds a recorded trace back as an arrival stream; it satisfies
 // the same PeekNext/Next contract as Source.
 type Replay struct {
-	entries []TraceEntry
+	entries []TraceEntry //potlint:nosnap the trace itself is re-read from its file on resume
 	pos     int
 }
 
@@ -102,6 +102,7 @@ func (r *Replay) Remaining() int { return len(r.entries) - r.pos }
 // Capture decorates an arrival stream, recording everything that passes
 // through so it can be written with WriteTrace.
 type Capture struct {
+	//potlint:nosnap the wrapped source snapshots itself; the owner re-wraps on resume
 	inner interface {
 		PeekNext() sim.Time
 		Next() (Arrival, error)
